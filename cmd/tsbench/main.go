@@ -1,0 +1,60 @@
+// tsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tsbench -experiment all            # every table and figure (quick mode)
+//	tsbench -experiment fig16 -full    # one experiment at paper scale
+//	tsbench -list                      # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tasksuperscalar/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "all", "experiment ID (or comma list, or 'all')")
+		full  = flag.Bool("full", false, "run at paper scale instead of quick mode")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 42, "workload generation seed")
+		cores = flag.Int("cores", 256, "largest machine size")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-9s %s\n          paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Cores: *cores}
+	var ids []string
+	if *expID == "all" {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		e, ok := experiments.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tsbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,147 @@
+// tssim runs one benchmark workload on one machine configuration and prints
+// the run's statistics.
+//
+// Usage:
+//
+//	tssim -workload cholesky -cores 256 -tasks 20000
+//	tssim -workload h264 -runtime software -cores 128
+//	tssim -workload matmul -trs 4 -ort 1 -memory
+//	tssim -workload fft -save fft.trace        # save the task trace
+//	tssim -load fft.trace -cores 64            # replay a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tasksuperscalar/internal/trace"
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "cholesky", "benchmark name (Table I)")
+		runtime  = flag.String("runtime", "hardware", "hardware | software | sequential")
+		cores    = flag.Int("cores", 256, "worker cores")
+		tasks    = flag.Int("tasks", 20000, "approximate task budget")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		numTRS   = flag.Int("trs", 8, "number of task reservation stations")
+		numORT   = flag.Int("ort", 2, "number of ORT/OVT pairs")
+		trsKB    = flag.Int("trskb", 768, "eDRAM per TRS (KB)")
+		ortKB    = flag.Int("ortkb", 256, "eDRAM per ORT (KB)")
+		memory   = flag.Bool("memory", false, "model the full memory hierarchy")
+		saveTo   = flag.String("save", "", "write the generated task trace to this file and exit (.json for JSON)")
+		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
+	)
+	flag.Parse()
+
+	var b *workloads.Build
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		if strings.HasSuffix(*loadFrom, ".json") {
+			tr, err = trace.ReadJSON(f)
+		} else {
+			tr, err = trace.ReadBinary(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+			os.Exit(1)
+		}
+		reg, tasks := tr.Materialize()
+		b = &workloads.Build{Name: tr.Name, Reg: reg, Tasks: tasks}
+	} else {
+		wl, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tssim: unknown workload %q; available:\n", *workload)
+			for _, w := range workloads.All() {
+				fmt.Fprintf(os.Stderr, "  %-10s %s\n", w.Name, w.Description)
+			}
+			os.Exit(2)
+		}
+		b = wl.Gen(*tasks, *seed)
+	}
+	fmt.Println(workloads.Describe(b))
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+			os.Exit(1)
+		}
+		tr := trace.FromTasks(b.Name, b.Reg, b.Tasks)
+		if strings.HasSuffix(*saveTo, ".json") {
+			err = tr.WriteJSON(f)
+		} else {
+			err = tr.WriteBinary(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *saveTo)
+		return
+	}
+
+	cfg := tss.DefaultConfig().WithCores(*cores)
+	cfg.Memory = *memory
+	cfg.Frontend.NumTRS = *numTRS
+	cfg.Frontend.NumORT = *numORT
+	cfg.Frontend.TRSBytesEach = uint64(*trsKB) << 10
+	cfg.Frontend.ORTBytesEach = uint64(*ortKB) << 10
+	cfg.Frontend.OVTBytesEach = uint64(*ortKB) << 10
+	switch *runtime {
+	case "hardware":
+		cfg.Runtime = tss.HardwarePipeline
+	case "software":
+		cfg.Runtime = tss.SoftwareRuntime
+	case "sequential":
+		cfg.Runtime = tss.Sequential
+	default:
+		fmt.Fprintf(os.Stderr, "tssim: unknown runtime %q\n", *runtime)
+		os.Exit(2)
+	}
+
+	res, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+		os.Exit(1)
+	}
+	seq := tss.SequentialCycles(b.Tasks)
+	fmt.Printf("runtime:        %s on %d cores\n", cfg.Runtime, res.Cores)
+	fmt.Printf("tasks executed: %d\n", res.Tasks)
+	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
+		res.Cycles, float64(res.Cycles)/3.2e6)
+	fmt.Printf("speedup:        %.1fx over sequential work (%d cycles)\n",
+		float64(seq)/float64(res.Cycles), seq)
+	if res.DecodeRateCycles > 0 {
+		fmt.Printf("decode rate:    %.0f cycles/task (%.0f ns)\n",
+			res.DecodeRateCycles, res.DecodeRateNs())
+	}
+	fmt.Printf("task window:    max %d in-flight tasks\n", res.WindowMax)
+	fmt.Printf("utilization:    %.1f%% of cores busy (time-averaged)\n", res.Utilization*100)
+	if cfg.Runtime == tss.HardwarePipeline {
+		fs := res.Frontend
+		fmt.Printf("frontend:       %d renames, %d copy-backs, %d in-place unblocks\n",
+			fs.Renames, fs.CopyBacks, fs.InPlaceUnblocks)
+		fmt.Printf("                ORT stalls %d, OVT stalls %d, fragmentation %.0f%%\n",
+			fs.ORTStallEvents, fs.OVTStallEvents, fs.InternalFragmentation*100)
+		fmt.Printf("utilization:    gateway %.0f%%, busiest TRS %.0f%%, ORT %.0f%%, OVT %.0f%%\n",
+			fs.GatewayUtil*100, fs.TRSUtil*100, fs.ORTUtil*100, fs.OVTUtil*100)
+	}
+	if *memory {
+		fmt.Printf("memory:         %d fetches (%d L1 object hits), %d invalidations, %d DMA copies, %.1f MB moved\n",
+			res.Mem.Fetches, res.Mem.L1ObjHits, res.Mem.Invalidations, res.Mem.DMACopies,
+			float64(res.Mem.BytesMoved)/(1<<20))
+	}
+}

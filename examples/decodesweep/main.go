@@ -1,0 +1,54 @@
+// Decodesweep: measures how the distributed frontend's decode rate scales
+// with the number of TRS and ORT modules (the experiment behind Figures
+// 12-13), using a synthetic stream built through the public API.
+//
+//	go run ./examples/decodesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasksuperscalar/tss"
+)
+
+func build() *tss.Program {
+	p := tss.NewProgram()
+	k := p.Kernel("kernel")
+	const blockBytes = 16 << 10
+	// A strided producer/consumer mix over a pool of objects.
+	pool := make([]tss.Addr, 256)
+	for i := range pool {
+		pool[i] = p.Alloc(blockBytes)
+	}
+	for i := 0; i < 6000; i++ {
+		a := pool[(i*7)%len(pool)]
+		b := pool[(i*13+5)%len(pool)]
+		c := pool[(i*3+11)%len(pool)]
+		p.Spawn(k, tss.Microseconds(40),
+			tss.In(a, blockBytes), tss.In(b, blockBytes), tss.InOut(c, blockBytes))
+	}
+	return p
+}
+
+func main() {
+	p := build()
+	fmt.Printf("%6s %6s %14s %12s\n", "#TRS", "#ORT", "decode cy/task", "decode ns")
+	for _, ntrs := range []int{1, 2, 4, 8, 16} {
+		for _, nort := range []int{1, 2, 4} {
+			cfg := tss.DefaultConfig().WithCores(256)
+			cfg.Memory = false
+			cfg.Frontend.NumTRS = ntrs
+			cfg.Frontend.NumORT = nort
+			cfg.Frontend.TRSBytesEach = (6 << 20) / uint64(ntrs)
+			cfg.Frontend.ORTBytesEach = (512 << 10) / uint64(nort)
+			cfg.Frontend.OVTBytesEach = (512 << 10) / uint64(nort)
+			res, err := tss.Run(p, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d %6d %14.0f %12.0f\n",
+				ntrs, nort, res.DecodeRateCycles, res.DecodeRateNs())
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Multigen: multiple task-generating threads (§III.B). Data is partitioned
+// between threads, so tasks from different threads have no data dependencies
+// and the in-order decode property holds per thread; the pipeline frontend
+// interleaves the streams freely.
+//
+//	go run ./examples/multigen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasksuperscalar/tss"
+)
+
+// buildPartition creates one thread's share of a blocked stencil sweep over
+// its own region of the domain.
+func buildPartition(base tss.Addr, rows, steps int) *tss.Program {
+	p := tss.NewProgramAt(base)
+	k := p.Kernel("stencil_row")
+	const rowBytes = 16 << 10
+	cur := make([]tss.Addr, rows)
+	for i := range cur {
+		cur[i] = p.Alloc(rowBytes)
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < rows; i++ {
+			ops := []tss.Operand{tss.InOut(cur[i], rowBytes)}
+			if i > 0 {
+				ops = append(ops, tss.In(cur[i-1], rowBytes))
+			}
+			if i < rows-1 {
+				ops = append(ops, tss.In(cur[i+1], rowBytes))
+			}
+			p.Spawn(k, tss.Microseconds(25), ops...)
+		}
+	}
+	return p
+}
+
+func main() {
+	const threads = 4
+	var parts []*tss.Program
+	var total int
+	for i := 0; i < threads; i++ {
+		p := buildPartition(tss.Addr(0x1000_0000*(i+1)), 32, 24)
+		parts = append(parts, p)
+		total += p.Len()
+	}
+	fmt.Printf("%d generating threads, %d tasks total (disjoint domain partitions)\n",
+		threads, total)
+
+	cfg := tss.DefaultConfig().WithCores(128)
+	cfg.Memory = false
+	res, err := tss.RunPartitioned(parts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var work uint64
+	for _, p := range parts {
+		work += tss.SequentialCycles(p.Tasks())
+	}
+	fmt.Printf("makespan:    %d cycles on %d cores\n", res.Cycles, res.Cores)
+	fmt.Printf("speedup:     %.1fx over sequential work\n", float64(work)/float64(res.Cycles))
+	fmt.Printf("decode rate: %.0f ns/task across all threads\n", res.DecodeRateNs())
+	fmt.Printf("window max:  %d in-flight tasks\n", res.WindowMax)
+}

@@ -1,0 +1,72 @@
+// Quickstart: annotate a small blocked computation StarSs-style, run it on
+// the simulated task superscalar machine, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasksuperscalar/tss"
+)
+
+func main() {
+	// A toy blocked "axpy then reduce" program: y[i] += a*x[i] in
+	// independent blocks, then a tree reduction over partial sums. The
+	// programmer only annotates operand directionality — the pipeline
+	// discovers the parallelism.
+	p := tss.NewProgram()
+	axpy := p.Kernel("axpy_block")
+	reduce := p.Kernel("reduce_partial")
+
+	const blocks = 64
+	const blockBytes = 16 << 10
+	xs := make([]tss.Addr, blocks)
+	ys := make([]tss.Addr, blocks)
+	partial := make([]tss.Addr, blocks)
+	for i := range xs {
+		xs[i] = p.Alloc(blockBytes)
+		ys[i] = p.Alloc(blockBytes)
+		partial[i] = p.Alloc(1 << 10)
+	}
+	sum := p.Alloc(1 << 10)
+
+	for i := 0; i < blocks; i++ {
+		p.Spawn(axpy, tss.Microseconds(20),
+			tss.In(xs[i], blockBytes),
+			tss.InOut(ys[i], blockBytes))
+		p.Spawn(reduce, tss.Microseconds(5),
+			tss.In(ys[i], blockBytes),
+			tss.Out(partial[i], 1<<10))
+	}
+	// Final reduction folds 16 partials at a time into the sum.
+	for g := 0; g < blocks; g += 16 {
+		ops := []tss.Operand{}
+		for i := g; i < g+16; i++ {
+			ops = append(ops, tss.In(partial[i], 1<<10))
+		}
+		ops = append(ops, tss.InOut(sum, 1<<10))
+		p.Spawn(reduce, tss.Microseconds(8), ops...)
+	}
+
+	cfg := tss.DefaultConfig().WithCores(32)
+	res, err := tss.Run(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqCfg := cfg
+	seqCfg.Runtime = tss.Sequential
+	seq, err := tss.Run(p, seqCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tasks:        %d\n", res.Tasks)
+	fmt.Printf("parallel:     %d cycles on %d cores\n", res.Cycles, res.Cores)
+	fmt.Printf("sequential:   %d cycles\n", seq.Cycles)
+	fmt.Printf("speedup:      %.1fx\n", res.SpeedupOver(seq))
+	fmt.Printf("decode rate:  %.0f ns/task\n", res.DecodeRateNs())
+	fmt.Printf("task window:  up to %d in-flight tasks\n", res.WindowMax)
+	fmt.Printf("renames:      %d output operands renamed by the OVT\n", res.Frontend.Renames)
+}

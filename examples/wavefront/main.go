@@ -1,0 +1,80 @@
+// Wavefront: an H264-style macroblock wavefront built through the public
+// API, demonstrating the task-window effect of §VI.B: a larger TRS window
+// uncovers more distant parallelism across frames. (The software runtime's
+// infinite window does not help here because its serialized decoder cannot
+// keep 256 cores fed — the H264 benchmark in Figure 16, with longer tasks,
+// is where the infinite window wins.)
+//
+//	go run ./examples/wavefront
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tasksuperscalar/tss"
+)
+
+// buildWavefront spawns frames of w x h blocks where each block depends on
+// its west/north neighbours and on the co-located block of the previous
+// frame.
+func buildWavefront(frames, w, h int) *tss.Program {
+	p := tss.NewProgram()
+	k := p.Kernel("decode_block")
+	const blockBytes = 16 << 10
+	prev := make([][]tss.Addr, h)
+	for f := 0; f < frames; f++ {
+		cur := make([][]tss.Addr, h)
+		for y := range cur {
+			cur[y] = make([]tss.Addr, w)
+			for x := range cur[y] {
+				cur[y][x] = p.Alloc(blockBytes)
+			}
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				ops := []tss.Operand{}
+				if x > 0 {
+					ops = append(ops, tss.In(cur[y][x-1], blockBytes))
+				}
+				if y > 0 {
+					ops = append(ops, tss.In(cur[y-1][x], blockBytes))
+				}
+				if f > 0 {
+					ops = append(ops, tss.In(prev[y][x], blockBytes))
+				}
+				ops = append(ops, tss.InOut(cur[y][x], blockBytes))
+				p.Spawn(k, tss.Microseconds(100), ops...)
+			}
+		}
+		prev = cur
+	}
+	return p
+}
+
+func main() {
+	p := buildWavefront(12, 40, 24)
+	fmt.Printf("wavefront program: %d tasks (12 frames of 40x24 blocks)\n", p.Len())
+
+	seq := float64(tss.SequentialCycles(p.Tasks()))
+	for _, windowKB := range []int{256, 1024, 6144} {
+		cfg := tss.DefaultConfig().WithCores(256)
+		cfg.Memory = false
+		cfg.Frontend.TRSBytesEach = uint64(windowKB) << 10 / uint64(cfg.Frontend.NumTRS)
+		res, err := tss.Run(p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hardware, %4d KB TRS window: speedup %5.1fx (window max %5d tasks)\n",
+			windowKB, seq/float64(res.Cycles), res.WindowMax)
+	}
+
+	cfg := tss.DefaultConfig().WithCores(256)
+	cfg.Memory = false
+	cfg.Runtime = tss.SoftwareRuntime
+	res, err := tss.Run(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("software runtime (infinite window): speedup %5.1fx\n", seq/float64(res.Cycles))
+}

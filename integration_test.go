@@ -1,0 +1,238 @@
+// Integration tests: drive the assembled machine (frontend + backend +
+// memory + NoC) across all nine workloads and both runtimes, validating
+// against the dependency-graph oracle and the paper's qualitative claims.
+package main
+
+import (
+	"testing"
+
+	"tasksuperscalar/internal/graph"
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
+)
+
+func smallCfg(cores int) tss.Config {
+	cfg := tss.DefaultConfig().WithCores(cores)
+	cfg.Memory = false
+	return cfg
+}
+
+// TestAllWorkloadsRespectOracle runs every benchmark at small scale on the
+// hardware pipeline and validates the observed schedule against the
+// sequential-semantics dependency graph.
+func TestAllWorkloadsRespectOracle(t *testing.T) {
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			b := wl.Gen(1200, 7)
+			res, err := tss.RunTasks(b.Tasks, smallCfg(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(res.Tasks) != len(b.Tasks) {
+				t.Fatalf("executed %d of %d tasks", res.Tasks, len(b.Tasks))
+			}
+			g := graph.Build(b.Tasks, graph.Options{Renaming: true})
+			if err := g.ValidateSchedule(res.Start, res.Finish); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsOnSoftwareRuntime runs every benchmark on the software
+// baseline and validates schedules the same way.
+func TestAllWorkloadsOnSoftwareRuntime(t *testing.T) {
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			b := wl.Gen(800, 7)
+			cfg := smallCfg(64)
+			cfg.Runtime = tss.SoftwareRuntime
+			res, err := tss.RunTasks(b.Tasks, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := graph.Build(b.Tasks, graph.Options{Renaming: true})
+			if err := g.ValidateSchedule(res.Start, res.Finish); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunsAreDeterministic re-runs the same configuration and demands
+// identical cycle counts (the discrete-event engine is seeded and ordered).
+func TestRunsAreDeterministic(t *testing.T) {
+	b := workloads.Cholesky(1500, 42)
+	var first uint64
+	for i := 0; i < 3; i++ {
+		res, err := tss.RunTasks(b.Tasks, smallCfg(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Cycles
+		} else if res.Cycles != first {
+			t.Fatalf("run %d took %d cycles, run 0 took %d", i, res.Cycles, first)
+		}
+	}
+}
+
+// TestMoreCoresNeverSlower checks speedup monotonicity across machine sizes.
+func TestMoreCoresNeverSlower(t *testing.T) {
+	b := workloads.MatMul(2000, 42)
+	var prev uint64 = ^uint64(0)
+	for _, cores := range []int{8, 32, 128} {
+		res, err := tss.RunTasks(b.Tasks, smallCfg(cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles > prev+prev/20 { // allow 5% noise
+			t.Fatalf("%d cores took %d cycles, more than fewer cores (%d)", cores, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// TestHardwareBeatsSoftwareOnShortTasks reproduces the core claim: for
+// fine-grain tasks (STAP) the hardware pipeline scales far beyond the
+// software runtime.
+func TestHardwareBeatsSoftwareOnShortTasks(t *testing.T) {
+	b := workloads.STAP(4000, 42)
+	seq := float64(tss.SequentialCycles(b.Tasks))
+	hw, err := tss.RunTasks(b.Tasks, smallCfg(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(256)
+	cfg.Runtime = tss.SoftwareRuntime
+	sw, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwSp := seq / float64(hw.Cycles)
+	swSp := seq / float64(sw.Cycles)
+	if hwSp < 2*swSp {
+		t.Fatalf("STAP at 256p: hardware %.0fx vs software %.0fx; want >= 2x gap", hwSp, swSp)
+	}
+}
+
+// TestSoftwareScalesOnLongTasks reproduces §VI.C: for ~100 us tasks (Knn)
+// the software decoder is adequate and the two runtimes converge.
+func TestSoftwareScalesOnLongTasks(t *testing.T) {
+	b := workloads.Knn(3000, 42)
+	seq := float64(tss.SequentialCycles(b.Tasks))
+	hw, err := tss.RunTasks(b.Tasks, smallCfg(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(128)
+	cfg.Runtime = tss.SoftwareRuntime
+	sw, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwSp := seq / float64(hw.Cycles)
+	swSp := seq / float64(sw.Cycles)
+	if swSp < 0.7*hwSp {
+		t.Fatalf("Knn at 128p: software %.0fx should approach hardware %.0fx", swSp, hwSp)
+	}
+}
+
+// TestWindowCapacityLimitsSpeedup reproduces Figure 15's mechanism: a tiny
+// TRS window reduces uncovered parallelism.
+func TestWindowCapacityLimitsSpeedup(t *testing.T) {
+	b := workloads.H264(6000, 42)
+	seq := float64(tss.SequentialCycles(b.Tasks))
+	small := smallCfg(256)
+	small.Frontend.TRSBytesEach = (256 << 10) / 8
+	rSmall, err := tss.RunTasks(b.Tasks, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := smallCfg(256)
+	rBig, err := tss.RunTasks(b.Tasks, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spSmall := seq / float64(rSmall.Cycles)
+	spBig := seq / float64(rBig.Cycles)
+	if spBig <= spSmall*1.2 {
+		t.Fatalf("window effect missing: 256KB window %.1fx vs 6MB window %.1fx", spSmall, spBig)
+	}
+}
+
+// TestDecodeRateBeatsTarget reproduces the headline: the default pipeline
+// decodes the average benchmark faster than the 256p consumption limit.
+func TestDecodeRateBeatsTarget(t *testing.T) {
+	// 187 cycles/task is the 256p target from §II; KMeans (17-operand
+	// reduction tasks) sits just above it, like H264 does in the paper.
+	limits := map[string]float64{"Cholesky": 187, "MatMul": 187, "KMeans": 250}
+	for name, limit := range limits {
+		wl, _ := workloads.ByName(name)
+		b := wl.Gen(3000, 42)
+		res, err := tss.RunTasks(b.Tasks, smallCfg(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DecodeRateCycles > limit {
+			t.Errorf("%s decode rate %.0f cycles/task exceeds %0.f",
+				name, res.DecodeRateCycles, limit)
+		}
+	}
+}
+
+// TestMemorySystemEndToEnd runs a small workload with the full coherent
+// hierarchy enabled and checks the machine still validates.
+func TestMemorySystemEndToEnd(t *testing.T) {
+	b := workloads.CholeskyN(8, 42) // 120 tasks
+	cfg := tss.DefaultConfig().WithCores(16)
+	cfg.Memory = true
+	res, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(b.Tasks, graph.Options{Renaming: true})
+	if err := g.ValidateSchedule(res.Start, res.Finish); err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.Fetches == 0 || res.Mem.Writebacks == 0 {
+		t.Fatal("memory system not exercised")
+	}
+	// Renamed versions idle at the end are copied home by the DMA engine.
+	if res.Frontend.Renames > 0 && res.Mem.DMACopies == 0 {
+		t.Fatal("rename copy-back did not use the DMA engine")
+	}
+}
+
+// TestLineDetailMemoryEndToEnd exercises the line-granular L1 models.
+func TestLineDetailMemoryEndToEnd(t *testing.T) {
+	b := workloads.CholeskyN(6, 42)
+	cfg := tss.DefaultConfig().WithCores(8)
+	cfg.Memory = true
+	cfg.LineDetailMemory = true
+	res, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Tasks) != len(b.Tasks) {
+		t.Fatalf("executed %d of %d", res.Tasks, len(b.Tasks))
+	}
+}
+
+// TestRenamingOffStillCorrect runs the pipeline without renaming and
+// validates against the unrenamed oracle (WaR/WaW edges included).
+func TestRenamingOffStillCorrect(t *testing.T) {
+	b := workloads.FFT(1500, 42)
+	cfg := smallCfg(64)
+	cfg.Frontend.Renaming = false
+	res, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(b.Tasks, graph.Options{Renaming: false})
+	if err := g.ValidateSchedule(res.Start, res.Finish); err != nil {
+		t.Fatal(err)
+	}
+}

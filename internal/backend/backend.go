@@ -1,0 +1,364 @@
+// Package backend is the execution half of the task superscalar machine: a
+// Carbon-like hardware queuing system (a global task unit plus per-core
+// local task units that prefetch work, without stealing — §IV.B.5) driving
+// in-order worker cores. Cores stage task operands into their L1s with
+// DMA-style bursts through the memory system, execute for the task's trace
+// runtime, write outputs back, and report completion to the frontend.
+package backend
+
+import (
+	"tasksuperscalar/internal/core"
+	"tasksuperscalar/internal/mem"
+	"tasksuperscalar/internal/noc"
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/stats"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// FinishHandler receives task-completion notifications (the pipeline
+// frontend, the software runtime, or a test harness).
+type FinishHandler interface {
+	TaskFinished(from noc.NodeID, id core.TaskID)
+}
+
+// Config sizes the backend.
+type Config struct {
+	Cores           int
+	LocalQueueDepth int       // tasks prefetched per core (Carbon LTU)
+	DispatchCycles  sim.Cycle // global queue processing per dispatch
+	CtrlBytes       uint32
+
+	// Stealing lets an idle core take a staged-but-unstarted task from
+	// another core's local queue (Carbon supports this; the paper's
+	// system does not — §IV.B.5 — so it defaults off and is an ablation).
+	Stealing bool
+
+	// CoreSpeed optionally scales each core's execution rate (1.0 =
+	// Table II baseline). Values below 1 model slower cores in a
+	// heterogeneous CMP — the management direction the paper's
+	// conclusion points at. Nil means all cores run at full speed.
+	CoreSpeed []float64
+}
+
+// DefaultConfig returns the backend used throughout the evaluation.
+func DefaultConfig(cores int) Config {
+	return Config{Cores: cores, LocalQueueDepth: 2, DispatchCycles: 16, CtrlBytes: 32}
+}
+
+// stagedTask is a local-queue entry whose operands may still be in flight.
+type stagedTask struct {
+	rt     *core.ReadyTask
+	staged bool
+}
+
+// worker is one processor core acting as a functional unit. Operand staging
+// is double-buffered: the local task unit prefetches the operands of queued
+// tasks while the current task executes (the Cell-heritage DMA overlap the
+// paper's fine-grain tasks depend on).
+type worker struct {
+	idx     int
+	node    noc.NodeID
+	queue   []*stagedTask
+	running bool
+}
+
+// Backend implements core.Dispatcher.
+type Backend struct {
+	eng *sim.Engine
+	net *noc.Network
+	cfg Config
+	mem *mem.System // may be nil (frontend-only studies)
+
+	finish FinishHandler
+
+	node    noc.NodeID // global task unit
+	gtu     *sim.Server[any]
+	readyQ  []*core.ReadyTask
+	credits []int // free local-queue slots per worker
+	freeRR  int
+	workers []*worker
+
+	// Observability, indexed by task sequence number.
+	startAt  map[uint64]sim.Cycle
+	finishAt map[uint64]sim.Cycle
+
+	busy      stats.Counter
+	executed  uint64
+	readyPeak int
+	steals    uint64
+}
+
+// gtuMsg types.
+type gtuReady struct{ rt *core.ReadyTask }
+type gtuCredit struct{ worker int }
+type gtuMove struct{ from, to int } // steal: slot moves between workers
+
+// execCycles scales a task's runtime by the worker core's speed.
+func (b *Backend) execCycles(w *worker, rt *core.ReadyTask) sim.Cycle {
+	t := rt.Task.Runtime
+	if b.cfg.CoreSpeed != nil && w.idx < len(b.cfg.CoreSpeed) {
+		if sp := b.cfg.CoreSpeed[w.idx]; sp > 0 && sp != 1 {
+			t = uint64(float64(t) / sp)
+		}
+	}
+	return sim.Cycle(t)
+}
+
+// trySteal moves a staged-but-unstarted task from the most loaded peer's
+// local queue to the idle worker w (two control messages of latency).
+func (b *Backend) trySteal(w *worker) {
+	var victim *worker
+	for _, v := range b.workers {
+		if v == w || len(v.queue) == 0 {
+			continue
+		}
+		// Only steal fully staged tasks that are not about to start.
+		last := v.queue[len(v.queue)-1]
+		if !last.staged || (len(v.queue) == 1 && !v.running) {
+			continue
+		}
+		if victim == nil || len(v.queue) > len(victim.queue) {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return
+	}
+	st := victim.queue[len(victim.queue)-1]
+	victim.queue = victim.queue[:len(victim.queue)-1]
+	b.steals++
+	b.net.Send(w.node, victim.node, b.cfg.CtrlBytes, func() {
+		b.net.Send(victim.node, w.node, b.cfg.CtrlBytes, func() {
+			// Re-stage on the thief (its L1 must hold the operands).
+			b.stageOperands(w, st.rt, func() {
+				w.queue = append(w.queue, st)
+				st.staged = true
+				b.maybeStart(w)
+			})
+			// The local-queue slot moves with the task.
+			b.gtu.Submit(gtuMove{from: victim.idx, to: w.idx})
+		})
+	})
+}
+
+// New builds the backend and attaches the global task unit and the worker
+// cores to the network (call before net.Build()). coreNodes supplies the
+// worker attachment points; the caller creates them so the memory system
+// and backend agree on core indices.
+func New(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg Config, m *mem.System) *Backend {
+	b := &Backend{
+		eng:      eng,
+		net:      net,
+		cfg:      cfg,
+		mem:      m,
+		node:     net.AddGlobalNode("gtu"),
+		startAt:  make(map[uint64]sim.Cycle),
+		finishAt: make(map[uint64]sim.Cycle),
+	}
+	b.gtu = sim.NewServer[any](eng, "gtu", b.handleGTU)
+	for i := 0; i < cfg.Cores; i++ {
+		b.workers = append(b.workers, &worker{idx: i, node: coreNodes[i]})
+		b.credits = append(b.credits, cfg.LocalQueueDepth)
+	}
+	return b
+}
+
+// SetFinishHandler wires completion notifications (frontend or soft runtime).
+func (b *Backend) SetFinishHandler(h FinishHandler) { b.finish = h }
+
+// Node implements core.Dispatcher.
+func (b *Backend) Node() noc.NodeID { return b.node }
+
+// TaskReady implements core.Dispatcher: the ready queue accepts the task.
+func (b *Backend) TaskReady(rt *core.ReadyTask) { b.gtu.Submit(gtuReady{rt}) }
+
+func (b *Backend) handleGTU(m any) sim.Cycle {
+	switch msg := m.(type) {
+	case gtuReady:
+		b.readyQ = append(b.readyQ, msg.rt)
+		if len(b.readyQ) > b.readyPeak {
+			b.readyPeak = len(b.readyQ)
+		}
+		return b.dispatch()
+	case gtuCredit:
+		b.credits[msg.worker]++
+		return b.dispatch()
+	case gtuMove:
+		b.credits[msg.from]++
+		b.credits[msg.to]--
+		return b.dispatch()
+	default:
+		panic("gtu: unknown message")
+	}
+}
+
+// dispatch hands queued tasks to workers with free local-queue slots,
+// round-robin across cores.
+func (b *Backend) dispatch() sim.Cycle {
+	var cost sim.Cycle
+	n := len(b.workers)
+	for len(b.readyQ) > 0 {
+		picked := -1
+		for i := 0; i < n; i++ {
+			idx := (b.freeRR + i) % n
+			if b.credits[idx] > 0 {
+				picked = idx
+				b.freeRR = (idx + 1) % n
+				break
+			}
+		}
+		if picked < 0 {
+			break
+		}
+		rt := b.readyQ[0]
+		b.readyQ = b.readyQ[1:]
+		b.credits[picked]--
+		w := b.workers[picked]
+		size := b.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
+		b.net.Send(b.node, w.node, size, func() { b.deliver(w, rt) })
+		cost += b.cfg.DispatchCycles
+	}
+	return cost
+}
+
+// deliver places a task in a worker's local queue and begins staging its
+// operands immediately, overlapping any current execution.
+func (b *Backend) deliver(w *worker, rt *core.ReadyTask) {
+	st := &stagedTask{rt: rt}
+	w.queue = append(w.queue, st)
+	b.stageOperands(w, rt, func() {
+		st.staged = true
+		b.maybeStart(w)
+	})
+}
+
+// maybeStart launches the head task once the core is idle and the task's
+// operands have arrived.
+func (b *Backend) maybeStart(w *worker) {
+	if w.running {
+		return
+	}
+	if len(w.queue) == 0 || !w.queue[0].staged {
+		if b.cfg.Stealing && len(w.queue) == 0 {
+			b.trySteal(w)
+		}
+		return
+	}
+	st := w.queue[0]
+	w.queue = w.queue[1:]
+	w.running = true
+	rt := st.rt
+	b.busy.Inc(b.eng.Now(), +1)
+	b.startAt[rt.Task.Seq] = b.eng.Now()
+	b.eng.Schedule(b.execCycles(w, rt), func() {
+		// The core frees at execution end; output writeback proceeds in
+		// the background and gates only the completion notification.
+		b.busy.Inc(b.eng.Now(), -1)
+		w.running = false
+		b.maybeStart(w)
+		b.writeOutputs(w, rt, func() {
+			b.completeTask(w, rt)
+		})
+	})
+}
+
+// stageOperands brings every input operand into the worker's L1 and
+// acquires write ownership of outputs, all in parallel; then runs.
+func (b *Backend) stageOperands(w *worker, rt *core.ReadyTask, then func()) {
+	if b.mem == nil {
+		b.eng.Schedule(0, then)
+		return
+	}
+	pending := 0
+	fire := func() {
+		pending--
+		if pending == 0 {
+			then()
+		}
+	}
+	for _, op := range rt.Operands {
+		if op.Dir == taskmodel.Scalar || op.Size == 0 {
+			continue
+		}
+		pending++
+		switch op.Dir {
+		case taskmodel.In:
+			b.mem.Fetch(w.idx, op.Buf, op.Size, fire)
+		case taskmodel.InOut:
+			b.mem.FetchExclusive(w.idx, op.Buf, op.Size, fire)
+		case taskmodel.Out:
+			b.mem.AcquireWrite(w.idx, op.Buf, op.Size, fire)
+		}
+	}
+	if pending == 0 {
+		b.eng.Schedule(0, then)
+	}
+}
+
+// writeOutputs flushes produced data to the shared L2 so consumers see it.
+func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, then func()) {
+	if b.mem == nil {
+		b.eng.Schedule(0, then)
+		return
+	}
+	pending := 0
+	fire := func() {
+		pending--
+		if pending == 0 {
+			then()
+		}
+	}
+	for _, op := range rt.Operands {
+		if !op.Dir.Writes() || op.Size == 0 {
+			continue
+		}
+		pending++
+		b.mem.Writeback(w.idx, op.Buf, op.Size, fire)
+	}
+	if pending == 0 {
+		b.eng.Schedule(0, then)
+	}
+}
+
+func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
+	now := b.eng.Now()
+	b.finishAt[rt.Task.Seq] = now
+	b.executed++
+	if b.finish != nil {
+		b.finish.TaskFinished(w.node, rt.ID)
+	}
+	// Return the local-queue slot to the global task unit.
+	b.net.Send(w.node, b.node, b.cfg.CtrlBytes, func() {
+		b.gtu.Submit(gtuCredit{worker: w.idx})
+	})
+}
+
+// Executed returns the number of completed tasks.
+func (b *Backend) Executed() uint64 { return b.executed }
+
+// Schedule returns observed start and finish times indexed by task sequence
+// number (for validation against the dependency-graph oracle).
+func (b *Backend) Schedule(n int) (start, finish []uint64) {
+	start = make([]uint64, n)
+	finish = make([]uint64, n)
+	for seq, at := range b.startAt {
+		if int(seq) < n {
+			start[seq] = at
+		}
+	}
+	for seq, at := range b.finishAt {
+		if int(seq) < n {
+			finish[seq] = at
+		}
+	}
+	return start, finish
+}
+
+// Utilization returns average busy cores over [0, end].
+func (b *Backend) Utilization(end sim.Cycle) float64 { return b.busy.TimeAvg(end) }
+
+// ReadyPeak returns the high-water mark of the global ready queue.
+func (b *Backend) ReadyPeak() int { return b.readyPeak }
+
+// Steals returns the number of tasks moved between local queues.
+func (b *Backend) Steals() uint64 { return b.steals }

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"tasksuperscalar/internal/noc"
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/stats"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// Frontend is the assembled task superscalar pipeline: one gateway, NumTRS
+// task reservation stations, and NumORT object renaming tables, each paired
+// with an object versioning table. All modules attach to the global ring.
+type Frontend struct {
+	eng *sim.Engine
+	net *noc.Network
+	cfg Config
+
+	gw  *gateway
+	trs []*trsModule
+	ort []*ortModule
+	ovt []*ovtModule
+
+	dispatcher Dispatcher
+	copyEngine CopyEngine
+
+	stallState []bool
+
+	// Stats.
+	window      stats.Counter
+	decoded     uint64
+	firstDecode sim.Cycle
+	lastDecode  sim.Cycle
+	retired     uint64
+	readyLag    stats.Sample // decode-to-ready latency
+}
+
+// New builds a frontend and attaches its modules to the network (call
+// before net.Build()). copyEngine performs rename-buffer copy-back; pass
+// NullCopyEngine when no memory system is modeled.
+func New(eng *sim.Engine, net *noc.Network, cfg Config, copyEngine CopyEngine) *Frontend {
+	if cfg.NumTRS < 1 || cfg.NumORT < 1 {
+		panic("core: need at least one TRS and one ORT")
+	}
+	fe := &Frontend{
+		eng:        eng,
+		net:        net,
+		cfg:        cfg,
+		copyEngine: copyEngine,
+		stallState: make([]bool, cfg.NumORT*2),
+	}
+	fe.gw = newGateway(fe)
+	fe.gw.node = int(net.AddGlobalNode("gateway"))
+	for i := 0; i < cfg.NumTRS; i++ {
+		t := newTRS(fe, i)
+		t.node = int(net.AddGlobalNode("trs"))
+		fe.trs = append(fe.trs, t)
+	}
+	for i := 0; i < cfg.NumORT; i++ {
+		o := newORT(fe, i)
+		o.node = int(net.AddGlobalNode("ort"))
+		fe.ort = append(fe.ort, o)
+		v := newOVT(fe, i)
+		v.node = int(net.AddGlobalNode("ovt"))
+		fe.ovt = append(fe.ovt, v)
+	}
+	return fe
+}
+
+// SetDispatcher wires the execution backend.
+func (fe *Frontend) SetDispatcher(d Dispatcher) { fe.dispatcher = d }
+
+// Config returns the frontend configuration.
+func (fe *Frontend) Config() Config { return fe.cfg }
+
+// GatewayNode is the gateway's network attachment (generators send here).
+func (fe *Frontend) GatewayNode() noc.NodeID { return noc.NodeID(fe.gw.node) }
+
+// NullCopyEngine discards copy-back requests, completing them instantly.
+type NullCopyEngine struct{ eng *sim.Engine }
+
+// NewNullCopyEngine returns a copy engine for frontend-only simulations.
+func NewNullCopyEngine(eng *sim.Engine) *NullCopyEngine { return &NullCopyEngine{eng: eng} }
+
+// Copy implements CopyEngine.
+func (n *NullCopyEngine) Copy(src, dst uint64, size uint32, then func()) {
+	n.eng.Schedule(1, then)
+}
+
+// --- routing helpers ---
+
+// ortFor hashes an operand base address to an ORT index; hashing (rather
+// than using address bits directly) avoids load imbalance from varying
+// object sizes (§IV.B.1).
+func (fe *Frontend) ortFor(base uint64) int {
+	h := base >> 6
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(len(fe.ort)))
+}
+
+func (fe *Frontend) trsGen(id TaskID) uint32 {
+	return fe.trs[id.TRS].gens[id.Slot]
+}
+
+// --- message transport (asynchronous point-to-point over the NoC) ---
+
+func (fe *Frontend) sendToTRS(fromNode, trsIdx int, m any) {
+	t := fe.trs[trsIdx]
+	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(t.node), fe.cfg.CtrlBytes, func() { t.srv.Submit(m) })
+}
+
+func (fe *Frontend) sendToORT(fromNode, ortIdx int, m any) {
+	o := fe.ort[ortIdx]
+	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, func() { o.srv.Submit(m) })
+}
+
+func (fe *Frontend) sendToOVT(fromNode, ovtIdx int, m any) {
+	o := fe.ovt[ovtIdx]
+	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, func() { o.srv.Submit(m) })
+}
+
+func (fe *Frontend) sendToGW(fromNode int, m any) {
+	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(fe.gw.node), fe.cfg.CtrlBytes, func() { fe.gw.srv.Submit(m) })
+}
+
+func (fe *Frontend) sendToTRSFromGW(m any, trsIdx int) {
+	fe.sendToTRS(fe.gw.node, trsIdx, m)
+}
+
+func (fe *Frontend) sendToORTFromGW(m ortDecodeMsg, ortIdx int) {
+	fe.sendToORT(fe.gw.node, ortIdx, m)
+}
+
+// stall source encoding: ORT i and OVT i each get a slot in the gateway's
+// stall bitmap.
+func stallSrcORT(i int) int { return 2 * i }
+func stallSrcOVT(i int) int { return 2*i + 1 }
+
+// setStall asserts or clears gateway backpressure from a frontend module,
+// sending a message only on state changes.
+func (fe *Frontend) setStall(src int, on bool) {
+	if fe.stallState[src] == on {
+		return
+	}
+	fe.stallState[src] = on
+	var fromNode int
+	if src%2 == 0 {
+		fromNode = fe.ort[src/2].node
+	} else {
+		fromNode = fe.ovt[src/2].node
+	}
+	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(fe.gw.node), fe.cfg.CtrlBytes, func() {
+		fe.gw.srv.Submit(gwStallMsg{src: src, stalled: on})
+	})
+}
+
+// dispatchReady ships a ready task to the backend's queuing system.
+func (fe *Frontend) dispatchReady(fromNode int, rt *ReadyTask) {
+	size := fe.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
+	fe.readyLag.AddN(uint64(rt.ReadyAt - rt.DecodedAt))
+	fe.net.Send(noc.NodeID(fromNode), fe.dispatcher.Node(), size, func() {
+		fe.dispatcher.TaskReady(rt)
+	})
+}
+
+// TaskFinished is called by the backend (from the worker's node) when a task
+// completes; the TRS then walks the operands, notifies consumers, and frees
+// the task's storage.
+func (fe *Frontend) TaskFinished(fromNode noc.NodeID, id TaskID) {
+	t := fe.trs[id.TRS]
+	fe.net.Send(fromNode, noc.NodeID(t.node), fe.cfg.CtrlBytes, func() {
+		t.srv.Submit(trsTaskFinishedMsg{id: id})
+	})
+}
+
+// --- bookkeeping ---
+
+func (fe *Frontend) noteWindowDelta(d int64) {
+	fe.window.Inc(fe.eng.Now(), d)
+}
+
+func (fe *Frontend) noteDecoded(at sim.Cycle) {
+	if fe.decoded == 0 {
+		fe.firstDecode = at
+	}
+	fe.lastDecode = at
+	fe.decoded++
+}
+
+func (fe *Frontend) noteTaskRetired(r *taskRec) {
+	fe.retired++
+}
+
+// --- statistics ---
+
+// FrontendStats summarizes a run of the pipeline frontend.
+type FrontendStats struct {
+	Decoded uint64
+	Retired uint64
+	// DecodeRate is the average time between successive additions to the
+	// task graph, in cycles per task (§VI.A).
+	DecodeRate float64
+
+	WindowMax     int64
+	WindowTimeAvg float64
+
+	// TRS storage behaviour.
+	TRSBytesAllocated uint64
+	TRSBytesUsed      uint64
+	// InternalFragmentation = 1 - used/allocated (§IV.B.2 reports ~20%).
+	InternalFragmentation float64
+	TRSDeferredHighWater  int
+
+	// ORT/OVT behaviour.
+	ORTStallEvents  uint64
+	OVTStallEvents  uint64
+	ORTMaxOccupied  int
+	OVTMaxLive      int
+	Renames         uint64
+	CopyBacks       uint64
+	InPlaceUnblocks uint64
+
+	// Consumer chains: fraction with at most 2 links, the 95th
+	// percentile, and the maximum.
+	ChainFracAtMost2 float64
+	ChainP95         float64
+	ChainMax         int
+
+	GatewayAdmitted  uint64
+	GatewayIssuedOps uint64
+
+	// Per-module-type busy fractions over the run (bottleneck analysis
+	// for the Figure 12/13 sweeps).
+	GatewayUtil float64
+	TRSUtil     float64 // busiest TRS
+	ORTUtil     float64 // busiest ORT
+	OVTUtil     float64 // busiest OVT
+}
+
+// Stats collects statistics across all modules. end is the cycle at which
+// the run finished (for time-weighted averages).
+func (fe *Frontend) Stats(end sim.Cycle) FrontendStats {
+	s := FrontendStats{
+		Decoded:          fe.decoded,
+		Retired:          fe.retired,
+		WindowMax:        fe.window.Max(),
+		WindowTimeAvg:    fe.window.TimeAvg(end),
+		GatewayAdmitted:  fe.gw.admitted,
+		GatewayIssuedOps: fe.gw.issuedOps,
+	}
+	if fe.decoded > 1 {
+		s.DecodeRate = float64(fe.lastDecode-fe.firstDecode) / float64(fe.decoded-1)
+	}
+	if end > 0 {
+		s.GatewayUtil = float64(fe.gw.srv.BusyCycles()) / float64(end)
+		for _, t := range fe.trs {
+			if u := float64(t.srv.BusyCycles()) / float64(end); u > s.TRSUtil {
+				s.TRSUtil = u
+			}
+		}
+		for _, o := range fe.ort {
+			if u := float64(o.srv.BusyCycles()) / float64(end); u > s.ORTUtil {
+				s.ORTUtil = u
+			}
+		}
+		for _, v := range fe.ovt {
+			if u := float64(v.srv.BusyCycles()) / float64(end); u > s.OVTUtil {
+				s.OVTUtil = u
+			}
+		}
+	}
+	for _, t := range fe.trs {
+		s.TRSBytesAllocated += t.bytesAllocated
+		s.TRSBytesUsed += t.bytesUsed
+		if t.deferredHighWater > s.TRSDeferredHighWater {
+			s.TRSDeferredHighWater = t.deferredHighWater
+		}
+	}
+	if s.TRSBytesAllocated > 0 {
+		s.InternalFragmentation = 1 - float64(s.TRSBytesUsed)/float64(s.TRSBytesAllocated)
+	}
+	var chains stats.Sample
+	for _, o := range fe.ort {
+		s.ORTStallEvents += o.stallEvents
+		if o.maxOccupied > s.ORTMaxOccupied {
+			s.ORTMaxOccupied = o.maxOccupied
+		}
+	}
+	for _, v := range fe.ovt {
+		s.OVTStallEvents += v.stallEvents
+		s.Renames += v.renames
+		s.CopyBacks += v.copyBacks
+		s.InPlaceUnblocks += v.inPlaceUnblocks
+		if v.maxLive > s.OVTMaxLive {
+			s.OVTMaxLive = v.maxLive
+		}
+		for _, c := range v.chainLens {
+			chains.Add(float64(c))
+			if c > s.ChainMax {
+				s.ChainMax = c
+			}
+		}
+	}
+	if chains.N() > 0 {
+		s.ChainFracAtMost2 = chains.FracAtMost(2)
+		s.ChainP95 = chains.Percentile(95)
+	}
+	return s
+}
+
+// WindowOccupancy returns the current number of in-flight tasks.
+func (fe *Frontend) WindowOccupancy() int64 { return fe.window.Cur() }
+
+// Generator models the task-generating thread: it walks a task stream,
+// paying a per-task packing cost, and writes tasks into the gateway's
+// buffer, blocking when the buffer (and transitively the task window) is
+// full — exactly the decoupled submission model of §III.C.
+type Generator struct {
+	fe     *Frontend
+	node   noc.NodeID
+	stream taskmodel.Stream
+
+	produced   uint64
+	done       bool
+	onFinished []func()
+}
+
+// NewGenerator creates a generator that injects tasks from node (typically
+// a core on a local ring).
+func NewGenerator(fe *Frontend, node noc.NodeID, stream taskmodel.Stream) *Generator {
+	return &Generator{fe: fe, node: node, stream: stream}
+}
+
+// Start begins producing tasks.
+func (g *Generator) Start() { g.produce() }
+
+// Produced returns the number of tasks submitted so far.
+func (g *Generator) Produced() uint64 { return g.produced }
+
+// Done reports whether the stream is exhausted.
+func (g *Generator) Done() bool { return g.done }
+
+// OnFinished registers a callback for stream exhaustion.
+func (g *Generator) OnFinished(fn func()) { g.onFinished = append(g.onFinished, fn) }
+
+func (g *Generator) produce() {
+	t := g.stream.Next()
+	if t == nil {
+		g.done = true
+		for _, fn := range g.onFinished {
+			fn()
+		}
+		return
+	}
+	if t.NumOperands() > MaxOperands {
+		panic("generator: task exceeds the 19-operand limit")
+	}
+	cost := g.fe.cfg.GenBaseCycles + g.fe.cfg.GenPerOpCycles*sim.Cycle(t.NumOperands())
+	g.fe.eng.Schedule(cost, func() { g.trySubmit(t) })
+}
+
+func (g *Generator) trySubmit(t *taskmodel.Task) {
+	gw := g.fe.gw
+	if !gw.RoomFor(t) {
+		gw.AwaitRoom(func() { g.trySubmit(t) })
+		return
+	}
+	gw.Reserve(t)
+	g.produced++
+	g.fe.net.Send(g.node, g.fe.GatewayNode(), taskBytes(t), func() {
+		gw.Enqueue(t)
+	})
+	g.produce()
+}

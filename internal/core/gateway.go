@@ -1,0 +1,259 @@
+package core
+
+import (
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// pendingTask is a task staged in the gateway's incoming buffer.
+type pendingTask struct {
+	task  *taskmodel.Task
+	bytes uint32
+
+	allocSent  bool
+	allocDone  bool
+	id         TaskID
+	nextIssue  int // next operand index to distribute
+	issuesDone bool
+}
+
+// gateway is the pipeline entry point: it buffers incoming tasks (1 KB),
+// allocates TRS storage, and distributes operands to the ORTs in task order
+// (the in-order decode requirement of §III). The non-blocking protocol lets
+// it pipeline allocation requests while older tasks are still being issued.
+type gateway struct {
+	fe   *Frontend
+	node int
+	srv  *sim.Server[any]
+
+	queue    []*pendingTask
+	bufUsed  uint32
+	waiters  []func() // generators blocked on buffer space
+	stalls   map[int]bool
+	nstalled int
+
+	freeTRS []bool
+	rrNext  int
+	anyFree bool
+
+	// Stats.
+	admitted  uint64
+	issuedOps uint64
+}
+
+func newGateway(fe *Frontend) *gateway {
+	g := &gateway{
+		fe:      fe,
+		stalls:  make(map[int]bool),
+		freeTRS: make([]bool, fe.cfg.NumTRS),
+	}
+	for i := range g.freeTRS {
+		g.freeTRS[i] = true
+	}
+	g.anyFree = true
+	g.srv = sim.NewServer[any](fe.eng, "gateway", g.handle)
+	return g
+}
+
+// taskBytes is the space a task occupies in the gateway buffer: kernel
+// pointer and globals plus one descriptor per operand.
+func taskBytes(t *taskmodel.Task) uint32 {
+	return 16 + 8*uint32(t.NumOperands())
+}
+
+// RoomFor reports whether the incoming buffer can accept the task.
+func (g *gateway) RoomFor(t *taskmodel.Task) bool {
+	return g.bufUsed+taskBytes(t) <= g.fe.cfg.GatewayBufBytes
+}
+
+// Reserve claims buffer space for a task about to be sent (the generator
+// reserves before injecting so in-flight tasks never overflow the buffer).
+func (g *gateway) Reserve(t *taskmodel.Task) {
+	g.bufUsed += taskBytes(t)
+}
+
+// Enqueue stages an arriving task (called at NoC delivery time); space was
+// already reserved by Reserve.
+func (g *gateway) Enqueue(t *taskmodel.Task) {
+	g.queue = append(g.queue, &pendingTask{task: t, bytes: taskBytes(t)})
+	g.admitted++
+	g.srv.Submit(gwKickMsg{})
+}
+
+// AwaitRoom registers a callback for when buffer space frees.
+func (g *gateway) AwaitRoom(fn func()) { g.waiters = append(g.waiters, fn) }
+
+// gwKickMsg wakes the gateway's work loop.
+type gwKickMsg struct{}
+
+func (g *gateway) handle(m any) sim.Cycle {
+	switch msg := m.(type) {
+	case gwKickMsg:
+		return g.step()
+	case gwAllocReplyMsg:
+		return g.handleAllocReply(msg)
+	case gwSpaceFreedMsg:
+		g.freeTRS[msg.trs] = true
+		g.anyFree = true
+		g.srv.Submit(gwKickMsg{})
+		return g.fe.cfg.ProcCycles
+	case gwStallMsg:
+		return g.handleStall(msg)
+	default:
+		panic("gateway: unknown message")
+	}
+}
+
+func (g *gateway) handleStall(m gwStallMsg) sim.Cycle {
+	was := g.stalls[m.src]
+	if m.stalled && !was {
+		g.stalls[m.src] = true
+		g.nstalled++
+	} else if !m.stalled && was {
+		delete(g.stalls, m.src)
+		g.nstalled--
+		g.srv.Submit(gwKickMsg{})
+	}
+	return 0
+}
+
+// step performs one unit of gateway work: issuing the next operand of the
+// oldest allocated task, or sending an allocation request for a newer task.
+// Operand issue is strictly in task order; allocation requests pipeline
+// ahead of it.
+func (g *gateway) step() sim.Cycle {
+	var cost sim.Cycle
+	progress := false
+
+	// 1. Issue the head task's operands, in order, unless stalled.
+	if len(g.queue) > 0 && g.nstalled == 0 {
+		head := g.queue[0]
+		if head.allocDone {
+			cost += g.issueOne(head)
+			progress = true
+			if head.issuesDone {
+				g.retire(head)
+			}
+		}
+	}
+
+	// 2. Pipeline one allocation request for the next unallocated task.
+	for _, p := range g.queue {
+		if p.allocSent {
+			continue
+		}
+		trs := g.pickTRS()
+		if trs < 0 {
+			break
+		}
+		p.allocSent = true
+		g.fe.sendToTRSFromGW(trsAllocMsg{task: p.task, gwRef: g.refOf(p)}, trs)
+		cost += g.fe.cfg.ProcCycles
+		progress = true
+		break
+	}
+
+	if progress {
+		g.srv.Submit(gwKickMsg{})
+	}
+	return cost
+}
+
+// refOf returns a stable reference for the pending task (its position is
+// not stable, so use the task's sequence number; the alloc reply echoes it).
+func (g *gateway) refOf(p *pendingTask) int { return int(p.task.Seq) }
+
+func (g *gateway) findRef(ref int) *pendingTask {
+	for _, p := range g.queue {
+		if int(p.task.Seq) == ref {
+			return p
+		}
+	}
+	return nil
+}
+
+// pickTRS selects the next TRS with free space, round-robin.
+func (g *gateway) pickTRS() int {
+	if !g.anyFree {
+		return -1
+	}
+	n := len(g.freeTRS)
+	for i := 0; i < n; i++ {
+		idx := (g.rrNext + i) % n
+		if g.freeTRS[idx] {
+			g.rrNext = (idx + 1) % n
+			return idx
+		}
+	}
+	g.anyFree = false
+	return -1
+}
+
+func (g *gateway) handleAllocReply(m gwAllocReplyMsg) sim.Cycle {
+	p := g.findRef(m.gwRef)
+	if p == nil {
+		panic("gateway: alloc reply for unknown task")
+	}
+	p.allocDone = true
+	p.id = m.id
+	if !m.moreSpace {
+		g.freeTRS[m.id.TRS] = false
+		g.anyFree = false
+		for _, f := range g.freeTRS {
+			if f {
+				g.anyFree = true
+				break
+			}
+		}
+	}
+	g.srv.Submit(gwKickMsg{})
+	return g.fe.cfg.ProcCycles
+}
+
+// issueOne distributes the next operand of the head task: memory operands go
+// to the ORT selected by the hashed base address, scalars directly to the
+// TRS. Address hashing is pipelined and adds no latency (§IV.B.1).
+func (g *gateway) issueOne(p *pendingTask) sim.Cycle {
+	ops := p.task.Operands
+	if p.nextIssue >= len(ops) {
+		p.issuesDone = true
+		return 0
+	}
+	i := p.nextIssue
+	p.nextIssue++
+	if p.nextIssue >= len(ops) {
+		p.issuesDone = true
+	}
+	op := ops[i]
+	oid := OperandID{Task: p.id, Index: uint8(i)}
+	if op.Dir == taskmodel.Scalar {
+		g.fe.sendToTRSFromGW(trsScalarMsg{op: oid}, int(p.id.TRS))
+	} else {
+		ort := g.fe.ortFor(uint64(op.Base))
+		g.fe.sendToORTFromGW(ortDecodeMsg{
+			op:   oid,
+			base: uint64(op.Base),
+			size: op.Size,
+			dir:  op.Dir,
+		}, ort)
+	}
+	g.issuedOps++
+	return g.fe.cfg.ProcCycles
+}
+
+// retire removes a fully issued task from the buffer and wakes blocked
+// generators.
+func (g *gateway) retire(p *pendingTask) {
+	if len(g.queue) == 0 || g.queue[0] != p {
+		panic("gateway: retiring non-head task")
+	}
+	g.queue = g.queue[1:]
+	g.bufUsed -= p.bytes
+	// Wake blocked generators; a still-blocked generator re-registers
+	// itself, so drain a snapshot rather than the live list.
+	waiters := g.waiters
+	g.waiters = nil
+	for _, w := range waiters {
+		w()
+	}
+}

@@ -1,0 +1,60 @@
+// Package core implements the paper's primary contribution: the distributed
+// task superscalar pipeline frontend. A pipeline gateway admits tasks from
+// the task-generating thread, object renaming tables (ORTs) map operands to
+// their latest versions and producers, object versioning tables (OVTs) track
+// live versions and rename output operands to break anti- and output-
+// dependencies, and task reservation stations (TRSs) store in-flight task
+// meta-data — embedding the task dependency graph — until all operands are
+// ready. Ready tasks flow to the execution backend, which drives processor
+// cores as functional units.
+//
+// Modules communicate through an asynchronous point-to-point protocol over
+// the on-chip network, reproducing the event flows of Figures 6-9 of the
+// paper. Every module charges 16 cycles of packet processing (multiplied by
+// the number of operands involved) plus 22 cycles per eDRAM access
+// (Table II).
+package core
+
+import "fmt"
+
+// TaskID is the unique in-flight task identifier: the TRS index and the slot
+// number inside that TRS (the address of the task's main block), e.g.
+// <TRS,SLOT> = <1,17> in Figure 6.
+type TaskID struct {
+	TRS  uint16
+	Slot uint32
+}
+
+// String renders the tuple as in the paper.
+func (id TaskID) String() string { return fmt.Sprintf("<%d,%d>", id.TRS, id.Slot) }
+
+// OperandID identifies one operand of an in-flight task: the task ID plus
+// the operand index, e.g. <1,17,0>.
+type OperandID struct {
+	Task  TaskID
+	Index uint8
+}
+
+// String renders the tuple as in the paper.
+func (id OperandID) String() string {
+	return fmt.Sprintf("<%d,%d,%d>", id.Task.TRS, id.Task.Slot, id.Index)
+}
+
+// noOperand is the sentinel for "no link" in consumer chains.
+var noOperand = OperandID{Task: TaskID{TRS: ^uint16(0), Slot: ^uint32(0)}, Index: ^uint8(0)}
+
+// isNone reports whether the ID is the chain terminator.
+func (id OperandID) isNone() bool { return id == noOperand }
+
+// VersionID names a live operand version inside an OVT.
+type VersionID struct {
+	OVT uint16
+	Num uint32
+}
+
+// String renders the version for diagnostics.
+func (v VersionID) String() string { return fmt.Sprintf("v<%d,%d>", v.OVT, v.Num) }
+
+var noVersion = VersionID{OVT: ^uint16(0), Num: ^uint32(0)}
+
+func (v VersionID) isNone() bool { return v == noVersion }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// TestLateConsumerOfRetiredProducer covers the producer-gone path: the
+// producer task finishes and frees its slot before a consumer's
+// register-consumer message arrives, so the buffer must be resolved through
+// the OVT version record.
+func TestLateConsumerOfRetiredProducer(t *testing.T) {
+	obj := taskmodel.Addr(0x70000)
+	var tasks []*taskmodel.Task
+	// Fast producer.
+	tasks = append(tasks, tk(1, opOut(obj)))
+	// Fillers delay the consumer's decode well past the producer's
+	// retirement.
+	for i := 0; i < 60; i++ {
+		tasks = append(tasks, tk(50_000, opOut(taskmodel.Addr(0x100000+i*0x1000))))
+	}
+	// Late consumer.
+	tasks = append(tasks, tk(10, opIn(obj)))
+	r := buildRig(t, DefaultConfig(), tasks)
+	r.run(t, 62)
+	last := uint64(len(tasks) - 1)
+	if r.mb.start[last] < r.mb.finish[0] {
+		t.Fatal("consumer ran before producer")
+	}
+	if r.mb.bufs[last] != uint64(obj) {
+		t.Fatalf("late consumer resolved buffer %#x, want home address %#x",
+			r.mb.bufs[last], uint64(obj))
+	}
+}
+
+// TestLateConsumerWithSlotReuse forces the producer's slot to be recycled by
+// another task before the consumer registers: the generation check must
+// detect the reuse and fall back to the OVT query.
+func TestLateConsumerWithSlotReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTRS = 1
+	cfg.TRSBytesEach = 4 * trsBlockBytes // four slots force fast recycling
+	obj := taskmodel.Addr(0x70000)
+	var tasks []*taskmodel.Task
+	tasks = append(tasks, tk(1, opOut(obj)))
+	for i := 0; i < 40; i++ {
+		tasks = append(tasks, tk(2_000, opOut(taskmodel.Addr(0x100000+i*0x1000))))
+	}
+	tasks = append(tasks, tk(10, opIn(obj)))
+	r := buildRig(t, cfg, tasks)
+	r.run(t, 42)
+	last := uint64(len(tasks) - 1)
+	if r.mb.bufs[last] != uint64(obj) {
+		t.Fatalf("consumer after slot reuse resolved %#x, want %#x",
+			r.mb.bufs[last], uint64(obj))
+	}
+}
+
+// TestLateInOutOfRetiredProducer covers the same race for an inout consumer,
+// whose query resolves through its own in-place version.
+func TestLateInOutOfRetiredProducer(t *testing.T) {
+	obj := taskmodel.Addr(0x70000)
+	var tasks []*taskmodel.Task
+	tasks = append(tasks, tk(1, opOut(obj)))
+	for i := 0; i < 60; i++ {
+		tasks = append(tasks, tk(50_000, opOut(taskmodel.Addr(0x100000+i*0x1000))))
+	}
+	tasks = append(tasks, tk(10, opInOut(obj)))
+	r := buildRig(t, DefaultConfig(), tasks)
+	r.run(t, 62)
+	last := uint64(len(tasks) - 1)
+	if r.mb.bufs[last] != uint64(obj) {
+		t.Fatalf("late inout resolved %#x, want in-place home %#x",
+			r.mb.bufs[last], uint64(obj))
+	}
+}
+
+// TestRenamedBufferReusedAfterRelease checks the OVT bucket allocator
+// recycles rename buffers: two serialized rename generations reuse storage.
+func TestRenamedBufferReusedAfterRelease(t *testing.T) {
+	obj := taskmodel.Addr(0x70000)
+	var tasks []*taskmodel.Task
+	// Two write-read generations; the second rename happens after the
+	// first version dies, so the bucket can recycle the buffer.
+	tasks = append(tasks,
+		tk(10, opOut(obj)),
+		tk(10, opOut(obj)), // renamed #1
+		tk(10, opIn(obj)),
+	)
+	r := buildRig(t, DefaultConfig(), tasks)
+	r.run(t, 3)
+	st := r.fe.Stats(r.eng.Now())
+	if st.Renames != 1 {
+		t.Fatalf("renames = %d, want 1", st.Renames)
+	}
+	// All rename buffers must be back in their buckets at drain.
+	for _, ovt := range r.fe.ovt {
+		if ovt.renameBufOut != 0 {
+			t.Fatalf("%d rename buffers leaked", ovt.renameBufOut)
+		}
+	}
+}
+
+// TestVersionRecordsDrainToZero ensures no version records leak after a
+// mixed workload fully retires.
+func TestVersionRecordsDrainToZero(t *testing.T) {
+	var tasks []*taskmodel.Task
+	for i := 0; i < 120; i++ {
+		a := taskmodel.Addr(0x100000 + (i%10)*0x1000)
+		switch i % 3 {
+		case 0:
+			tasks = append(tasks, tk(500, opOut(a)))
+		case 1:
+			tasks = append(tasks, tk(500, opIn(a)))
+		case 2:
+			tasks = append(tasks, tk(500, opInOut(a)))
+		}
+	}
+	r := buildRig(t, DefaultConfig(), tasks)
+	r.run(t, 120)
+	// Let release handshakes finish.
+	r.eng.Run()
+	for i, ovt := range r.fe.ovt {
+		if n := ovt.live(); n != 0 {
+			t.Errorf("ovt%d still holds %d live versions after drain", i, n)
+		}
+		if len(ovt.stashed) != 0 || len(ovt.pendingUses) != 0 {
+			t.Errorf("ovt%d has stashed/pending state after drain", i)
+		}
+	}
+	for i, ort := range r.fe.ort {
+		if ort.occupied != 0 {
+			t.Errorf("ort%d still has %d occupied entries after drain", i, ort.occupied)
+		}
+		if ort.nwait != 0 {
+			t.Errorf("ort%d still has %d stashed operands", i, ort.nwait)
+		}
+	}
+}

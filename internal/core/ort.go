@@ -1,0 +1,277 @@
+package core
+
+import (
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// ortEntry maps one memory object to its most recent user and its latest
+// version (the renaming-table row).
+type ortEntry struct {
+	valid bool
+	base  uint64
+	size  uint32
+
+	lastUser    OperandID
+	lastUserGen uint32
+
+	latestVer VersionID
+	uses      int // uses granted for latestVer (release handshake)
+}
+
+// ortModule is one object renaming table: a 16-way logical cache of memory
+// objects mapped onto an eDRAM block. Tags for each set live in two 64 B
+// blocks that are read sequentially (§IV.B.3). ORTs never evict: a full set
+// stalls the gateway until an entry is released.
+type ortModule struct {
+	fe    *Frontend
+	index int
+	node  int
+	srv   *sim.Server[any]
+
+	sets    [][]ortEntry
+	nsets   int
+	waiting [][]ortDecodeMsg // stashed decodes per full set
+	nwait   int              // total stashed operands
+	verSeq  uint32           // version number allocator for the paired OVT
+
+	// Stats.
+	lookups, hits, inserts, releases uint64
+	stallEvents                      uint64
+	occupied                         int
+	maxOccupied                      int
+}
+
+func newORT(fe *Frontend, index int) *ortModule {
+	entries := int(fe.cfg.ORTBytesEach / ortEntryBytes)
+	nsets := entries / ortWays
+	if nsets < 1 {
+		nsets = 1
+	}
+	o := &ortModule{fe: fe, index: index, nsets: nsets}
+	o.sets = make([][]ortEntry, nsets)
+	for i := range o.sets {
+		o.sets[i] = make([]ortEntry, ortWays)
+	}
+	o.waiting = make([][]ortDecodeMsg, nsets)
+	o.srv = sim.NewServer[any](fe.eng, "ort", o.handle)
+	return o
+}
+
+func (o *ortModule) handle(m any) sim.Cycle {
+	switch msg := m.(type) {
+	case ortDecodeMsg:
+		return o.handleDecode(msg, false)
+	case ortReleaseMsg:
+		return o.handleRelease(msg)
+	default:
+		panic("ort: unknown message")
+	}
+}
+
+func (o *ortModule) setFor(base uint64) int {
+	h := base >> 6
+	h ^= h >> 17
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(o.nsets))
+}
+
+// lookupCost is the tag access: two 64 B blocks read sequentially.
+func (o *ortModule) lookupCost() sim.Cycle { return 2 * o.fe.cfg.EDRAMCycles }
+
+func (o *ortModule) find(set int, base uint64) *ortEntry {
+	for i := range o.sets[set] {
+		e := &o.sets[set][i]
+		if e.valid && e.base == base {
+			return e
+		}
+	}
+	return nil
+}
+
+func (o *ortModule) freeWay(set int) *ortEntry {
+	for i := range o.sets[set] {
+		if !o.sets[set][i].valid {
+			return &o.sets[set][i]
+		}
+	}
+	return nil
+}
+
+func (o *ortModule) newVersion() VersionID {
+	o.verSeq++
+	return VersionID{OVT: uint16(o.index), Num: o.verSeq}
+}
+
+// handleDecode performs the renaming-table lookup for one operand and
+// drives the flows of Figures 7 (output), 8 (input) and 9 (inout).
+func (o *ortModule) handleDecode(m ortDecodeMsg, replay bool) sim.Cycle {
+	cost := o.fe.cfg.ProcCycles + o.lookupCost()
+	set := o.setFor(m.base)
+	if !replay && len(o.waiting[set]) > 0 {
+		// Preserve per-object decode order behind stashed operands.
+		o.waiting[set] = append(o.waiting[set], m)
+		o.nwait++
+		return cost
+	}
+	o.lookups++
+	e := o.find(set, m.base)
+	if e == nil {
+		w := o.freeWay(set)
+		if w == nil {
+			// Set full: hold the operand until an entry is released.
+			// The gateway is stalled only when the stash outgrows its
+			// credit limit (per-object order is kept by the per-set
+			// FIFO stash).
+			o.waiting[set] = append(o.waiting[set], m)
+			o.nwait++
+			o.stallEvents++
+			if o.nwait > o.fe.cfg.ORTStashLimit {
+				o.fe.setStall(stallSrcORT(o.index), true)
+			}
+			return cost
+		}
+		return cost + o.decodeMiss(m, w)
+	}
+	o.hits++
+	return cost + o.decodeHit(m, e)
+}
+
+// decodeMiss services an operand whose object has no live entry: the data
+// (if read) lives at its home address in memory.
+func (o *ortModule) decodeMiss(m ortDecodeMsg, w *ortEntry) sim.Cycle {
+	v := o.newVersion()
+	*w = ortEntry{
+		valid:       true,
+		base:        m.base,
+		size:        m.size,
+		lastUser:    m.op,
+		lastUserGen: o.fe.trsGen(m.op.Task),
+		latestVer:   v,
+		uses:        1,
+	}
+	o.inserts++
+	o.occupied++
+	if o.occupied > o.maxOccupied {
+		o.maxOccupied = o.occupied
+	}
+	info := trsOperandInfoMsg{
+		op: m.op, base: m.base, size: m.size, dir: m.dir, version: v,
+	}
+	nv := ovtNewVersionMsg{v: v, base: m.base, size: m.size, initialUse: 1}
+	switch m.dir {
+	case taskmodel.In:
+		// Data is in memory; the operand is immediately ready.
+		info.immediateReady = 1
+		info.readyBuf = m.base
+	case taskmodel.InOut:
+		// No previous version: input data is in memory; the OVT grants
+		// the (in-place) output buffer.
+		info.immediateReady = 1
+		info.readyBuf = m.base
+		nv.hasProducer = true
+		nv.producer = m.op
+		nv.inPlace = true
+	case taskmodel.Out:
+		// No previous version to protect: write in place. The OVT sends
+		// the output-buffer grant.
+		nv.hasProducer = true
+		nv.producer = m.op
+		nv.inPlace = true
+	}
+	o.fe.sendToTRS(o.node, int(m.op.Task.TRS), info)
+	o.fe.sendToOVT(o.node, o.index, nv)
+	return o.fe.cfg.EDRAMCycles // entry insert
+}
+
+// decodeHit services an operand whose object has a live entry.
+func (o *ortModule) decodeHit(m ortDecodeMsg, e *ortEntry) sim.Cycle {
+	prevUser := e.lastUser
+	prevGen := e.lastUserGen
+	prevVer := e.latestVer
+
+	info := trsOperandInfoMsg{op: m.op, base: m.base, size: m.size, dir: m.dir}
+	switch m.dir {
+	case taskmodel.In:
+		// RaR or RaW: register with the previous user, join the version.
+		info.version = prevVer
+		info.hasProducer = true
+		info.producer = prevUser
+		info.prodGen = prevGen
+		o.fe.sendToOVT(o.node, o.index, ovtAddUseMsg{v: prevVer})
+		e.uses++
+		if o.fe.cfg.Chaining || m.dir.Writes() {
+			e.lastUser = m.op
+			e.lastUserGen = o.fe.trsGen(m.op.Task)
+		}
+	case taskmodel.Out:
+		v := o.newVersion()
+		info.version = v
+		o.fe.sendToOVT(o.node, o.index, ovtNewVersionMsg{
+			v: v, base: m.base, size: m.size,
+			hasProducer: true, producer: m.op,
+			hasPrev: true, prev: prevVer,
+			inPlace:    !o.fe.cfg.Renaming,
+			initialUse: 1,
+		})
+		e.lastUser = m.op
+		e.lastUserGen = o.fe.trsGen(m.op.Task)
+		e.latestVer = v
+		e.uses = 1
+	case taskmodel.InOut:
+		// True dependency: never renamed. Register with the previous
+		// user for input data; the OVT grants the output buffer once
+		// the previous version dies.
+		v := o.newVersion()
+		info.version = v
+		info.hasProducer = true
+		info.producer = prevUser
+		info.prodGen = prevGen
+		o.fe.sendToOVT(o.node, o.index, ovtNewVersionMsg{
+			v: v, base: m.base, size: m.size,
+			hasProducer: true, producer: m.op,
+			hasPrev: true, prev: prevVer,
+			inPlace:    true,
+			initialUse: 1,
+		})
+		e.lastUser = m.op
+		e.lastUserGen = o.fe.trsGen(m.op.Task)
+		e.latestVer = v
+		e.uses = 1
+	}
+	o.fe.sendToTRS(o.node, int(m.op.Task.TRS), info)
+	return o.fe.cfg.EDRAMCycles // entry update
+}
+
+// handleRelease frees the object's entry if its latest version is the one
+// the OVT declared idle, then replays stalled operands for the set.
+func (o *ortModule) handleRelease(m ortReleaseMsg) sim.Cycle {
+	cost := o.fe.cfg.ProcCycles + o.lookupCost()
+	set := o.setFor(m.base)
+	e := o.find(set, m.base)
+	freed := false
+	if e != nil && e.latestVer == m.version && e.uses == m.granted {
+		// No grant happened since the OVT observed the version idle,
+		// and none can be in flight: safe to free.
+		e.valid = false
+		o.occupied--
+		o.releases++
+		freed = true
+	}
+	o.fe.sendToOVT(o.node, o.index, ovtReleaseAckMsg{v: m.version, freed: freed})
+	// Replay stashed decodes for this set, in order.
+	for freed && len(o.waiting[set]) > 0 {
+		if o.freeWay(set) == nil && o.find(set, o.waiting[set][0].base) == nil {
+			break
+		}
+		w := o.waiting[set][0]
+		o.waiting[set] = o.waiting[set][1:]
+		o.nwait--
+		cost += o.handleDecode(w, true)
+	}
+	if o.nwait == 0 {
+		o.fe.setStall(stallSrcORT(o.index), false)
+	}
+	return cost
+}

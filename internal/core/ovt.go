@@ -1,0 +1,413 @@
+package core
+
+import (
+	"tasksuperscalar/internal/sim"
+)
+
+// verRec is one live operand version: usage count, buffer location, link to
+// the next (in-place) version waiting on this one, and rename-buffer
+// ownership. The OVT is the physical-register-file analogue — it holds only
+// meta-data; buffers live in an OS-assigned memory region (§IV.B.4).
+type verRec struct {
+	id   VersionID
+	base uint64
+	size uint32
+
+	buf        uint64
+	ownsRename bool // buf is a rename buffer owned by this version
+	bufBucket  int
+
+	useCount   int
+	granted    int // total uses ever granted (release handshake with the ORT)
+	totalUses  int // lifetime consumer count (chain-length statistic)
+	superseded bool
+
+	hasWaiter bool      // an in-place successor waits for this version to die
+	waiter    OperandID // the successor's producer operand
+
+	hasProducer bool
+	producer    OperandID
+
+	inPlaceNext    bool // the successor reuses this version's buffer
+	copyInFlight   bool
+	releasePending bool // ortRelease sent, awaiting ack
+	dead           bool
+}
+
+// CopyEngine abstracts the external DMA engine that copies rename buffers
+// back to their original object addresses (mem.System implements it).
+type CopyEngine interface {
+	Copy(src, dst uint64, size uint32, then func())
+}
+
+// ovtModule is one object versioning table. It tracks live versions,
+// breaks anti- and output-dependencies by renaming output operands into
+// buffers drawn from power-of-2 buckets, and unblocks chained inout
+// versions in order as their predecessors die.
+type ovtModule struct {
+	fe    *Frontend
+	index int
+	node  int
+	srv   *sim.Server[any]
+
+	capacity int
+	recs     map[uint32]*verRec
+	stashed  []ovtNewVersionMsg // deferred creations while full
+	// pendingUses and pendingQueries buffer messages that arrive for a
+	// version whose creation is still stashed.
+	pendingUses    map[uint32]int
+	pendingQueries map[uint32][]OperandID
+
+	buckets map[int][]uint64 // free rename buffers by log2 size
+	nextBuf uint64           // bump allocator for fresh bucket chunks
+
+	// Stats.
+	created, released  uint64
+	renames            uint64
+	copyBacks          uint64
+	inPlaceUnblocks    uint64
+	stallEvents        uint64
+	maxLive            int
+	chainLens          []int // total consumers per dead version
+	renameBufOut       int   // rename buffers currently allocated
+	renameBufHighWater int
+}
+
+func newOVT(fe *Frontend, index int) *ovtModule {
+	o := &ovtModule{
+		fe:       fe,
+		index:    index,
+		capacity: int(fe.cfg.OVTBytesEach / ovtEntryBytes),
+		recs:     make(map[uint32]*verRec),
+		buckets:  make(map[int][]uint64),
+		// Rename buffers live in a private high region per OVT.
+		nextBuf:        (uint64(1) << 44) + uint64(index)<<40,
+		pendingUses:    make(map[uint32]int),
+		pendingQueries: make(map[uint32][]OperandID),
+	}
+	o.srv = sim.NewServer[any](fe.eng, "ovt", o.handle)
+	return o
+}
+
+func (o *ovtModule) handle(m any) sim.Cycle {
+	switch msg := m.(type) {
+	case ovtNewVersionMsg:
+		return o.handleNewVersion(msg, false)
+	case ovtAddUseMsg:
+		return o.handleAddUse(msg)
+	case ovtDecUseMsg:
+		return o.handleDecUse(msg)
+	case ovtQueryBufMsg:
+		return o.handleQuery(msg)
+	case ovtReleaseAckMsg:
+		return o.handleReleaseAck(msg)
+	case ovtCopyDoneMsg:
+		return o.handleCopyDone(msg)
+	default:
+		panic("ovt: unknown message")
+	}
+}
+
+// bucketFor returns the power-of-2 bucket index for a size.
+func bucketFor(size uint32) int {
+	b := 8 // minimum 256 B buffers
+	for (uint32(1) << b) < size {
+		b++
+	}
+	return b
+}
+
+// allocBuffer grabs a rename buffer from the appropriate bucket, refilling
+// the bucket from the OS-assigned region when empty.
+func (o *ovtModule) allocBuffer(size uint32) (uint64, int) {
+	b := bucketFor(size)
+	free := o.buckets[b]
+	if len(free) == 0 {
+		// Refill: carve a chunk of 16 buffers from the region.
+		sz := uint64(1) << b
+		for i := 0; i < 16; i++ {
+			free = append(free, o.nextBuf)
+			o.nextBuf += sz
+		}
+	}
+	buf := free[len(free)-1]
+	o.buckets[b] = free[:len(free)-1]
+	o.renameBufOut++
+	if o.renameBufOut > o.renameBufHighWater {
+		o.renameBufHighWater = o.renameBufOut
+	}
+	return buf, b
+}
+
+func (o *ovtModule) freeBuffer(buf uint64, bucket int) {
+	o.buckets[bucket] = append(o.buckets[bucket], buf)
+	o.renameBufOut--
+}
+
+func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle {
+	cost := o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+	if len(o.recs) >= o.capacity {
+		o.stashed = append(o.stashed, m)
+		if !replay {
+			o.stallEvents++
+			o.fe.setStall(stallSrcOVT(o.index), true)
+		}
+		return cost
+	}
+	rec := &verRec{
+		id:          m.v,
+		base:        m.base,
+		size:        m.size,
+		useCount:    int(m.initialUse),
+		granted:     int(m.initialUse),
+		hasProducer: m.hasProducer,
+		producer:    m.producer,
+	}
+	if !m.hasProducer {
+		// Producer-less (memory) versions: the initial reader counts as
+		// a chained consumer for the chain-length statistic.
+		rec.totalUses = int(m.initialUse)
+	}
+	o.recs[m.v.Num] = rec
+	o.created++
+	if len(o.recs) > o.maxLive {
+		o.maxLive = len(o.recs)
+	}
+	if p, ok := o.pendingUses[m.v.Num]; ok {
+		// p may be negative when holders finished before the stashed
+		// creation was processed. Grants only count positive additions.
+		rec.useCount += p
+		if p > 0 {
+			rec.granted += p
+			rec.totalUses += p
+		}
+		delete(o.pendingUses, m.v.Num)
+	}
+	if qs := o.pendingQueries[m.v.Num]; len(qs) > 0 {
+		// Buffer resolution for consumers that queried before creation:
+		// deferred until the buffer is known, at the end of creation.
+		defer func() {
+			for _, c := range qs {
+				o.fe.sendToTRS(o.node, int(c.Task.TRS), trsDataReadyMsg{
+					op:  c,
+					buf: rec.buf,
+				})
+			}
+			delete(o.pendingQueries, m.v.Num)
+		}()
+	}
+
+	if !m.hasPrev {
+		// First version of the object: data lives at the home address.
+		rec.buf = m.base
+		if m.hasProducer {
+			// Output buffer is immediately available.
+			o.grantOutput(rec)
+		}
+		o.maybeRelease(rec)
+		return cost
+	}
+
+	prev := o.recs[m.prev.Num]
+	if prev == nil {
+		panic("ovt: new version supersedes unknown version")
+	}
+	prev.superseded = true
+	prev.inPlaceNext = m.inPlace
+	if m.inPlace {
+		// True-dependency chain (inout, or renaming disabled): reuse the
+		// previous buffer and wait for the previous version to die.
+		if prev.copyInFlight {
+			// The previous buffer is being copied home; the successor
+			// will find the data at the home address once it unblocks.
+			rec.buf = prev.base
+			prev.inPlaceNext = false // prev frees its own buffer
+		} else {
+			rec.buf = prev.buf
+			rec.ownsRename = prev.ownsRename // ownership transfers at death
+			rec.bufBucket = prev.bufBucket
+		}
+		prev.hasWaiter = true
+		prev.waiter = m.producer
+		o.maybeRelease(prev)
+		o.maybeRelease(rec)
+		return cost
+	}
+	// Renamed output: fresh buffer, ready immediately (Figure 7).
+	buf, bucket := o.allocBuffer(m.size)
+	rec.buf = buf
+	rec.ownsRename = true
+	rec.bufBucket = bucket
+	o.renames++
+	o.grantOutput(rec)
+	o.maybeRelease(prev)
+	o.maybeRelease(rec)
+	return cost
+}
+
+// grantOutput tells the producer's TRS that the output buffer is available.
+func (o *ovtModule) grantOutput(rec *verRec) {
+	o.fe.sendToTRS(o.node, int(rec.producer.Task.TRS), trsDataReadyMsg{
+		op:     rec.producer,
+		buf:    rec.buf,
+		output: true,
+	})
+}
+
+func (o *ovtModule) handleAddUse(m ovtAddUseMsg) sim.Cycle {
+	rec := o.recs[m.v.Num]
+	if rec == nil {
+		// The version's creation is stashed behind a full table; hold
+		// the use until it replays.
+		o.pendingUses[m.v.Num]++
+		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+	}
+	rec.useCount++
+	rec.granted++
+	rec.totalUses++
+	return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+}
+
+func (o *ovtModule) handleDecUse(m ovtDecUseMsg) sim.Cycle {
+	rec := o.recs[m.v.Num]
+	if rec == nil {
+		// The version's creation is stashed behind a full table and its
+		// holder already finished (ORT-miss readers are ready at
+		// decode). Net the release against the pending creation.
+		o.pendingUses[m.v.Num]--
+		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+	}
+	rec.useCount--
+	if rec.useCount < 0 {
+		panic("ovt: negative use count")
+	}
+	o.maybeRelease(rec)
+	return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+}
+
+func (o *ovtModule) handleQuery(m ovtQueryBufMsg) sim.Cycle {
+	rec := o.recs[m.v.Num]
+	if rec == nil {
+		// Creation stashed: answer when it replays.
+		o.pendingQueries[m.v.Num] = append(o.pendingQueries[m.v.Num], m.consumer)
+		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+	}
+	o.fe.sendToTRS(o.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
+		op:  m.consumer,
+		buf: rec.buf,
+	})
+	return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
+}
+
+// maybeRelease advances a version's lifecycle when its use count reaches
+// zero: superseded versions die (notifying any in-place waiter); the latest
+// version of an object is copied back to its home address (if renamed) and
+// its ORT entry released.
+func (o *ovtModule) maybeRelease(rec *verRec) {
+	if rec.useCount != 0 || rec.dead || rec.copyInFlight {
+		return
+	}
+	if rec.superseded {
+		o.die(rec)
+		return
+	}
+	if rec.ownsRename {
+		// Idle latest version in a rename buffer: copy the data back to
+		// the original object address with the external DMA engine.
+		rec.copyInFlight = true
+		src, dst, size := rec.buf, rec.base, rec.size
+		o.copyBacks++
+		o.fe.copyEngine.Copy(src, dst, size, func() {
+			o.srv.Submit(ovtCopyDoneMsg{v: rec.id})
+		})
+		return
+	}
+	if !rec.releasePending {
+		rec.releasePending = true
+		o.fe.sendToORT(o.node, o.index, ortReleaseMsg{
+			base: rec.base, version: rec.id, granted: rec.granted,
+		})
+	}
+}
+
+// ovtCopyDoneMsg is the internal completion event of a DMA copy-back.
+type ovtCopyDoneMsg struct{ v VersionID }
+
+func (o *ovtModule) handleCopyDone(m ovtCopyDoneMsg) sim.Cycle {
+	rec := o.recs[m.v.Num]
+	if rec == nil {
+		return o.fe.cfg.ProcCycles
+	}
+	rec.copyInFlight = false
+	if rec.ownsRename {
+		o.freeBuffer(rec.buf, rec.bufBucket)
+		rec.ownsRename = false
+	}
+	rec.buf = rec.base
+	o.maybeRelease(rec)
+	return o.fe.cfg.ProcCycles
+}
+
+// die removes a superseded version: frees its rename buffer (unless the
+// successor took ownership) and unblocks an in-place successor.
+func (o *ovtModule) die(rec *verRec) {
+	rec.dead = true
+	o.chainLens = append(o.chainLens, rec.totalUses)
+	if rec.ownsRename && !rec.inPlaceNext {
+		o.freeBuffer(rec.buf, rec.bufBucket)
+		rec.ownsRename = false
+	}
+	if rec.hasWaiter {
+		// Figure 9: "data ready for output" once all users of the
+		// previous version finished.
+		o.inPlaceUnblocks++
+		o.fe.sendToTRS(o.node, int(rec.waiter.Task.TRS), trsDataReadyMsg{
+			op:     rec.waiter,
+			buf:    rec.buf,
+			output: true,
+		})
+	}
+	delete(o.recs, rec.id.Num)
+	o.released++
+	o.replayStashed()
+}
+
+func (o *ovtModule) handleReleaseAck(m ovtReleaseAckMsg) sim.Cycle {
+	rec := o.recs[m.v.Num]
+	cost := o.fe.cfg.ProcCycles
+	if rec == nil {
+		return cost
+	}
+	rec.releasePending = false
+	if m.freed {
+		// The ORT freed the entry with grant counts matching: no use of
+		// this version can exist or arrive. Retire the record.
+		if rec.useCount != 0 {
+			panic("ovt: freed entry with live uses")
+		}
+		rec.superseded = true
+		o.die(rec)
+		return cost
+	}
+	// The entry changed since we observed the version idle: either an
+	// AddUse is in flight (it will arrive and its DecUse re-triggers the
+	// release) or a newer version superseded us (its NewVersion message
+	// will arrive and retire this record). Either way a pending message
+	// re-triggers the lifecycle; do not spin on releases here.
+	return cost
+}
+
+// replayStashed admits deferred version creations after a release.
+func (o *ovtModule) replayStashed() {
+	for len(o.stashed) > 0 && len(o.recs) < o.capacity {
+		m := o.stashed[0]
+		o.stashed = o.stashed[1:]
+		o.handleNewVersion(m, true)
+	}
+	if len(o.stashed) == 0 {
+		o.fe.setStall(stallSrcOVT(o.index), false)
+	}
+}
+
+// live returns the number of live version records.
+func (o *ovtModule) live() int { return len(o.recs) }

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// opRec is the per-operand state stored in a task's TRS blocks.
+type opRec struct {
+	base    uint64
+	size    uint32
+	dir     taskmodel.Dir
+	version VersionID
+
+	pending  int8 // data-ready messages still required
+	stored   bool // operand info has arrived from the ORT/gateway
+	dataDone bool // input data available (pure readers forward on arrival)
+	buf      uint64
+
+	hasNext bool // consumer chaining: the single next consumer of this
+	next    OperandID
+
+	consumers []OperandID // ablation mode only (Chaining=false)
+}
+
+// taskRec is the in-flight task meta-data held by a TRS (main block plus
+// indirect blocks).
+type taskRec struct {
+	id     TaskID
+	gen    uint32
+	task   *taskmodel.Task
+	blocks int
+	ops    []opRec
+
+	pendingOps   int // operand records not yet stored
+	pendingReady int // data-ready messages not yet received
+	dispatched   bool
+
+	decodedAt sim.Cycle
+	readyAt   sim.Cycle
+}
+
+// trsModule is one task reservation station: an eDRAM block store whose
+// controller serializes protocol messages.
+type trsModule struct {
+	fe    *Frontend
+	index int
+	node  int // NoC node (stored as int to match noc.NodeID)
+	srv   *sim.Server[any]
+
+	totalBlocks int
+	freeBlocks  int
+	sramHeads   int // block addresses staged in the SRAM buffer
+
+	slots     []*taskRec
+	freeSlots []uint32
+	gens      []uint32
+
+	deferred     []trsAllocMsg // allocation requests awaiting free blocks
+	reportedFull bool
+
+	// Stats.
+	allocated, freed  uint64
+	bytesAllocated    uint64
+	bytesUsed         uint64
+	sramRefills       uint64
+	deferredHighWater int
+}
+
+func newTRS(fe *Frontend, index int) *trsModule {
+	t := &trsModule{
+		fe:          fe,
+		index:       index,
+		totalBlocks: int(fe.cfg.TRSBytesEach / trsBlockBytes),
+	}
+	t.freeBlocks = t.totalBlocks
+	t.sramHeads = sramFreeListHeads
+	t.srv = sim.NewServer[any](fe.eng, "trs", t.handle)
+	return t
+}
+
+func (t *trsModule) handle(m any) sim.Cycle {
+	switch msg := m.(type) {
+	case trsAllocMsg:
+		return t.handleAlloc(msg)
+	case trsOperandInfoMsg:
+		return t.handleOperandInfo(msg)
+	case trsScalarMsg:
+		return t.handleScalar(msg)
+	case trsRegisterConsumerMsg:
+		return t.handleRegisterConsumer(msg)
+	case trsDataReadyMsg:
+		return t.handleDataReady(msg)
+	case trsTaskFinishedMsg:
+		return t.handleFinished(msg)
+	default:
+		panic("trs: unknown message")
+	}
+}
+
+// blockAllocCost models pulling n block addresses from the SRAM-staged free
+// list (1 cycle each), refilling from the eDRAM list node when it runs dry.
+func (t *trsModule) blockAllocCost(n int) sim.Cycle {
+	cost := sim.Cycle(n) // 1 cycle per block from SRAM
+	for i := 0; i < n; i++ {
+		if t.sramHeads == 0 {
+			cost += t.fe.cfg.EDRAMCycles
+			t.sramHeads = sramFreeListHeads
+			t.sramRefills++
+		}
+		t.sramHeads--
+	}
+	return cost
+}
+
+func (t *trsModule) handleAlloc(m trsAllocMsg) sim.Cycle {
+	nops := m.task.NumOperands()
+	blocks := blocksForOperands(nops)
+	if blocks > t.freeBlocks {
+		// Defer until a task frees storage; the gateway's in-order issue
+		// stage blocks on this task, which is exactly the paper's
+		// "task window full" stall.
+		t.deferred = append(t.deferred, m)
+		if len(t.deferred) > t.deferredHighWater {
+			t.deferredHighWater = len(t.deferred)
+		}
+		return t.fe.cfg.ProcCycles
+	}
+	return t.allocate(m, blocks)
+}
+
+func (t *trsModule) allocate(m trsAllocMsg, blocks int) sim.Cycle {
+	nops := m.task.NumOperands()
+	t.freeBlocks -= blocks
+	var slot uint32
+	if n := len(t.freeSlots); n > 0 {
+		slot = t.freeSlots[n-1]
+		t.freeSlots = t.freeSlots[:n-1]
+	} else {
+		slot = uint32(len(t.slots))
+		t.slots = append(t.slots, nil)
+		t.gens = append(t.gens, 0)
+	}
+	t.gens[slot]++
+	rec := &taskRec{
+		id:           TaskID{TRS: uint16(t.index), Slot: slot},
+		gen:          t.gens[slot],
+		task:         m.task,
+		blocks:       blocks,
+		ops:          make([]opRec, nops),
+		pendingOps:   nops,
+		pendingReady: 0,
+	}
+	t.slots[slot] = rec
+	t.allocated++
+	t.bytesAllocated += uint64(blocks * trsBlockBytes)
+	t.bytesUsed += uint64(taskRecordBytes(nops))
+	t.fe.noteWindowDelta(+1)
+
+	// Reply to the gateway with the slot number.
+	t.fe.sendToGW(t.node, gwAllocReplyMsg{
+		gwRef:     m.gwRef,
+		id:        rec.id,
+		moreSpace: t.freeBlocks >= blocksForOperands(MaxOperands),
+	})
+	if t.freeBlocks < blocksForOperands(MaxOperands) {
+		t.reportedFull = true
+	}
+	extra := sim.Cycle(0)
+	if nops == 0 {
+		// Operand-less tasks are decoded and ready upon allocation.
+		rec.decodedAt = t.fe.eng.Now()
+		t.fe.noteDecoded(rec.decodedAt)
+		extra = t.maybeDispatch(rec)
+	}
+	// Alloc processing: packet cost + block pulls + one eDRAM write per
+	// block to initialize the task record.
+	return t.fe.cfg.ProcCycles + t.blockAllocCost(blocks) +
+		sim.Cycle(blocks)*t.fe.cfg.EDRAMCycles + extra
+}
+
+// rec returns the live record for id, or nil when the slot was freed or
+// reused.
+func (t *trsModule) rec(id TaskID, gen uint32, checkGen bool) *taskRec {
+	if int(id.Slot) >= len(t.slots) {
+		return nil
+	}
+	r := t.slots[id.Slot]
+	if r == nil {
+		return nil
+	}
+	if checkGen && r.gen != gen {
+		return nil
+	}
+	return r
+}
+
+func (t *trsModule) handleOperandInfo(m trsOperandInfoMsg) sim.Cycle {
+	r := t.rec(m.op.Task, 0, false)
+	if r == nil {
+		panic("trs: operand info for freed slot")
+	}
+	op := &r.ops[m.op.Index]
+	op.base = m.base
+	op.size = m.size
+	op.dir = m.dir
+	op.version = m.version
+	op.stored = true
+	switch m.dir {
+	case taskmodel.In, taskmodel.Out:
+		op.pending = 1
+	case taskmodel.InOut:
+		op.pending = 2
+	}
+	r.pendingReady += int(op.pending)
+
+	cost := t.fe.cfg.ProcCycles + t.fe.cfg.EDRAMCycles
+	if m.hasProducer {
+		// Register with the previous user of the version for input data.
+		t.fe.sendToTRS(t.node, int(m.producer.Task.TRS), trsRegisterConsumerMsg{
+			producer:     m.producer,
+			prodGen:      m.prodGen,
+			consumer:     m.op,
+			queryVersion: m.version,
+		})
+	}
+	if m.immediateReady > 0 {
+		op.pending -= m.immediateReady
+		r.pendingReady -= int(m.immediateReady)
+		op.buf = m.readyBuf
+		op.dataDone = true
+	}
+	t.noteOperandStored(r)
+	cost += t.maybeDispatch(r)
+	return cost
+}
+
+func (t *trsModule) handleScalar(m trsScalarMsg) sim.Cycle {
+	r := t.rec(m.op.Task, 0, false)
+	if r == nil {
+		panic("trs: scalar for freed slot")
+	}
+	op := &r.ops[m.op.Index]
+	op.dir = taskmodel.Scalar
+	op.stored = true
+	op.dataDone = true
+	t.noteOperandStored(r)
+	cost := t.fe.cfg.ProcCycles + t.fe.cfg.EDRAMCycles
+	cost += t.maybeDispatch(r)
+	return cost
+}
+
+func (t *trsModule) noteOperandStored(r *taskRec) {
+	r.pendingOps--
+	if r.pendingOps == 0 {
+		r.decodedAt = t.fe.eng.Now()
+		t.fe.noteDecoded(r.decodedAt)
+	}
+}
+
+func (t *trsModule) handleRegisterConsumer(m trsRegisterConsumerMsg) sim.Cycle {
+	cost := t.fe.cfg.ProcCycles + 2*t.fe.cfg.EDRAMCycles // read + link write
+	r := t.rec(m.producer.Task, m.prodGen, true)
+	if r == nil {
+		// The user already retired; its data was produced and written
+		// back. Resolve the buffer through the version record.
+		t.fe.sendToOVT(t.node, int(m.queryVersion.OVT), ovtQueryBufMsg{
+			v:        m.queryVersion,
+			consumer: m.consumer,
+		})
+		return cost
+	}
+	op := &r.ops[m.producer.Index]
+	if !t.fe.cfg.Chaining {
+		op.consumers = append(op.consumers, m.consumer)
+		if op.dir == taskmodel.In && op.dataDone {
+			t.fe.sendToTRS(t.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
+				op: m.consumer, buf: op.buf,
+			})
+		}
+		return cost
+	}
+	if op.dir == taskmodel.In && op.dataDone {
+		// Data already flowed through this reader: forward directly.
+		t.fe.sendToTRS(t.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
+			op: m.consumer, buf: op.buf,
+		})
+		return cost
+	}
+	op.next = m.consumer
+	op.hasNext = true
+	return cost
+}
+
+func (t *trsModule) handleDataReady(m trsDataReadyMsg) sim.Cycle {
+	r := t.rec(m.op.Task, 0, false)
+	if r == nil {
+		panic("trs: data ready for freed slot")
+	}
+	op := &r.ops[m.op.Index]
+	cost := t.fe.cfg.ProcCycles + t.fe.cfg.EDRAMCycles
+	if op.pending <= 0 {
+		panic("trs: duplicate data ready")
+	}
+	op.pending--
+	r.pendingReady--
+	if !m.output {
+		// Input data arrived: record its location and forward along the
+		// consumer chain immediately (Figure 10).
+		op.buf = m.buf
+		op.dataDone = true
+		if op.dir == taskmodel.In {
+			t.forward(op, m.buf)
+		}
+	} else if op.buf == 0 || op.dir == taskmodel.Out {
+		// Output buffer granted by the OVT (rename buffer or in-place
+		// buffer once the previous version died).
+		op.buf = m.buf
+	}
+	cost += t.maybeDispatch(r)
+	return cost
+}
+
+// forward passes an input-data-ready notification to the next consumer in
+// the chain (or to every registered consumer in the ablation mode).
+func (t *trsModule) forward(op *opRec, buf uint64) {
+	if t.fe.cfg.Chaining {
+		if op.hasNext {
+			t.fe.sendToTRS(t.node, int(op.next.Task.TRS), trsDataReadyMsg{op: op.next, buf: buf})
+		}
+		return
+	}
+	for _, c := range op.consumers {
+		t.fe.sendToTRS(t.node, int(c.Task.TRS), trsDataReadyMsg{op: c, buf: buf})
+	}
+	op.consumers = nil
+}
+
+// maybeDispatch sends the task to the ready queue once fully decoded and all
+// operands are ready. It returns the extra processing cost.
+func (t *trsModule) maybeDispatch(r *taskRec) sim.Cycle {
+	if r.dispatched || r.pendingOps > 0 || r.pendingReady > 0 {
+		return 0
+	}
+	r.dispatched = true
+	r.readyAt = t.fe.eng.Now()
+	ops := make([]ResolvedOperand, len(r.ops))
+	for i := range r.ops {
+		op := &r.ops[i]
+		buf := op.buf
+		if op.dir == taskmodel.Scalar {
+			buf = 0
+		}
+		ops[i] = ResolvedOperand{
+			Base: taskmodel.Addr(op.base),
+			Buf:  buf,
+			Size: op.size,
+			Dir:  op.dir,
+		}
+	}
+	t.fe.dispatchReady(t.node, &ReadyTask{
+		ID:        r.id,
+		Task:      r.task,
+		Operands:  ops,
+		DecodedAt: r.decodedAt,
+		ReadyAt:   r.readyAt,
+	})
+	return t.fe.cfg.EDRAMCycles // read the record out for dispatch
+}
+
+func (t *trsModule) handleFinished(m trsTaskFinishedMsg) sim.Cycle {
+	r := t.rec(m.id, 0, false)
+	if r == nil {
+		panic("trs: finish for freed slot")
+	}
+	// Traverse all operands: notify consumers, release version uses.
+	cost := t.fe.cfg.ProcCycles * sim.Cycle(max(1, len(r.ops)))
+	cost += sim.Cycle(r.blocks) * t.fe.cfg.EDRAMCycles
+	for i := range r.ops {
+		op := &r.ops[i]
+		if op.dir == taskmodel.Scalar {
+			continue
+		}
+		if op.dir.Writes() {
+			// The produced data is now final: release it to consumers.
+			op.dataDone = true
+			t.forward(op, op.buf)
+		}
+		t.fe.sendToOVT(t.node, int(op.version.OVT), ovtDecUseMsg{v: op.version})
+	}
+	// Free the task storage.
+	t.slots[m.id.Slot] = nil
+	t.freeSlots = append(t.freeSlots, m.id.Slot)
+	t.freeBlocks += r.blocks
+	t.freed++
+	t.fe.noteWindowDelta(-1)
+	t.fe.noteTaskRetired(r)
+
+	// Serve deferred allocations in order.
+	for len(t.deferred) > 0 {
+		d := t.deferred[0]
+		blocks := blocksForOperands(d.task.NumOperands())
+		if blocks > t.freeBlocks {
+			break
+		}
+		t.deferred = t.deferred[1:]
+		cost += t.allocate(d, blocks)
+	}
+	if t.reportedFull && len(t.deferred) == 0 && t.freeBlocks >= blocksForOperands(MaxOperands) {
+		t.reportedFull = false
+		t.fe.sendToGW(t.node, gwSpaceFreedMsg{trs: t.index})
+	}
+	return cost
+}
+
+// occupancy returns blocks in use.
+func (t *trsModule) occupancy() int { return t.totalBlocks - t.freeBlocks }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,405 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each experiment prints the same rows or series the paper
+// reports; the benchmark harness (bench_test.go) and cmd/tsbench both drive
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tasksuperscalar/internal/stats"
+	"tasksuperscalar/internal/taskmodel"
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
+)
+
+// Options scale an experiment run.
+type Options struct {
+	// Quick shrinks workloads and sweeps for fast iteration (used by the
+	// test-suite benchmarks); the full mode reproduces the paper-scale
+	// runs.
+	Quick bool
+	// Seed makes workload generation deterministic.
+	Seed int64
+	// Cores overrides the largest machine size (default 256).
+	Cores int
+}
+
+// DefaultOptions returns full-scale options.
+func DefaultOptions() Options { return Options{Seed: 42, Cores: 256} }
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper reports, for context
+	Run   func(w io.Writer, o Options) error
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: benchmark task statistics",
+			"avg data size, min/med/avg runtimes, decode-rate limit for 256p", Table1},
+		{"fig12", "Figure 12: task decode rate vs pipeline parallelism (Cholesky, H264)",
+			"rate falls with #TRS; H264 slower than Cholesky; ORTs help once TRSs scale", Fig12},
+		{"fig13", "Figure 13: average task decode rate vs pipeline parallelism",
+			"average over 9 benchmarks; 128p/256p rate limits at 375/187 cycles", Fig13},
+		{"fig14", "Figure 14: speedup vs total ORT capacity",
+			"saturation at 128 KB (Cholesky) and 512 KB (H264, average)", Fig14},
+		{"fig15", "Figure 15: speedup vs total TRS capacity",
+			"Cholesky peaks by 2 MB, H264 needs 6 MB; window of 12k-50k tasks", Fig15},
+		{"fig16", "Figure 16: speedup vs cores, hardware pipeline vs software runtime",
+			"hardware 95-255x (avg 183x) at 256p; software plateaus at 32-64p except Knn/H264", Fig16},
+		{"headline", "Headline (abstract/§VI): decode <60ns, 7MB eDRAM, tens of thousands of in-flight tasks",
+			"decode rate faster than 60 ns/task; ~50k-task windows in 7 MB", Headline},
+		{"chains", "§IV.B.2: consumer chain lengths and TRS fragmentation",
+			"95% of chains <=2 for 7 benchmarks (<=7 for the other two); ~20% TRS fragmentation", Chains},
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// budget picks a per-benchmark task budget.
+func (o Options) budget(full int) int {
+	if o.Quick {
+		q := full / 8
+		if q < 600 {
+			q = 600
+		}
+		return q
+	}
+	return full
+}
+
+func (o Options) cores() int {
+	if o.Cores > 0 {
+		return o.Cores
+	}
+	return 256
+}
+
+// fullBudget is the default paper-scale run length per benchmark. H264 gets
+// a longer stream so its window-size effects manifest (its distant
+// parallelism only appears across many frames).
+func fullBudget(name string) int {
+	if name == "H264" {
+		return 36000
+	}
+	return 20000
+}
+
+// baseConfig is the evaluation machine: Table II CMP with the paper's
+// default frontend, in trace "burst" mode (task runtimes already include
+// their memory time, as in the paper's trace-driven simulator).
+func baseConfig(cores int) tss.Config {
+	cfg := tss.DefaultConfig().WithCores(cores)
+	cfg.Memory = false
+	return cfg
+}
+
+// runHW executes a build on the hardware pipeline.
+func runHW(b *workloads.Build, cfg tss.Config) (*tss.Result, error) {
+	return tss.RunTasks(b.Tasks, cfg)
+}
+
+// speedupOverSeq is work/makespan: the speedup over sequential execution of
+// the same task stream.
+func speedupOverSeq(tasks []*taskmodel.Task, res *tss.Result) float64 {
+	return float64(tss.SequentialCycles(tasks)) / float64(res.Cycles)
+}
+
+// Table1 regenerates Table I from the workload generators.
+func Table1(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Table I: benchmark applications and task statistics (measured from generators)\n")
+	fmt.Fprintf(w, "%-10s %-18s %8s | %8s %7s %7s %7s | %10s\n",
+		"Name", "Class", "Tasks", "Data KB", "Min us", "Med us", "Avg us", "Rate ns/t")
+	var mins stats.Sample
+	for _, wl := range workloads.All() {
+		b := wl.Gen(o.budget(fullBudget(wl.Name)), o.Seed)
+		m := workloads.MeasureTableI(b)
+		fmt.Fprintf(w, "%-10s %-18s %8d | %8.0f %7.0f %7.0f %7.0f | %10.0f\n",
+			wl.Name, wl.Class, m.Tasks, m.DataKBAvg, m.MinUs, m.MedUs, m.AvgUs, m.RateNs256)
+		fmt.Fprintf(w, "%-10s %-18s %8s | %8.0f %7.0f %7.0f %7.0f | %10.0f  (paper)\n",
+			"", "", "", wl.Paper.DataKB, wl.Paper.MinUs, wl.Paper.MedUs, wl.Paper.AvgUs, wl.Paper.RateNs)
+		mins.Add(m.MinUs)
+	}
+	fmt.Fprintf(w, "Average of min runtimes: %.0f us -> 256p target decode rate %.0f ns/task (paper: 15 us -> 58 ns)\n",
+		mins.Mean(), mins.Mean()*1000/256)
+	return nil
+}
+
+// decodeSweepConfig builds a frontend with the given parallelism. The TRS
+// window stays at 6 MB total; ORTs and OVTs keep a generous fixed per-module
+// capacity so capacity effects (Figure 14's subject) do not pollute the
+// parallelism sweep.
+func decodeSweepConfig(cores, numTRS, numORT int) tss.Config {
+	cfg := baseConfig(cores)
+	cfg.Frontend.NumTRS = numTRS
+	cfg.Frontend.NumORT = numORT
+	cfg.Frontend.TRSBytesEach = (6 << 20) / uint64(numTRS)
+	cfg.Frontend.ORTBytesEach = 512 << 10
+	cfg.Frontend.OVTBytesEach = 512 << 10
+	return cfg
+}
+
+func sweepAxes(o Options) (trs []int, orts []int) {
+	if o.Quick {
+		return []int{1, 4, 16, 64}, []int{1, 4}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64}, []int{1, 2, 4, 8}
+}
+
+// decodeRate measures the decode rate of one benchmark at one configuration.
+func decodeRate(wl workloads.Info, numTRS, numORT int, o Options) (float64, error) {
+	b := wl.Gen(o.budget(4000), o.Seed)
+	res, err := runHW(b, decodeSweepConfig(o.cores(), numTRS, numORT))
+	if err != nil {
+		return 0, err
+	}
+	return res.DecodeRateCycles, nil
+}
+
+// Fig12 sweeps pipeline parallelism for Cholesky and H264.
+func Fig12(w io.Writer, o Options) error {
+	trsAxis, ortAxis := sweepAxes(o)
+	for _, name := range []string{"Cholesky", "H264"} {
+		wl, _ := workloads.ByName(name)
+		fmt.Fprintf(w, "Figure 12 (%s): decode rate [cycles/task]\n", name)
+		fmt.Fprintf(w, "%8s", "#TRS")
+		for _, nort := range ortAxis {
+			fmt.Fprintf(w, " %8s", fmt.Sprintf("%d ORT", nort))
+		}
+		fmt.Fprintln(w)
+		for _, ntrs := range trsAxis {
+			fmt.Fprintf(w, "%8d", ntrs)
+			for _, nort := range ortAxis {
+				r, err := decodeRate(wl, ntrs, nort, o)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %8.0f", r)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Fig13 sweeps pipeline parallelism averaged over all nine benchmarks.
+func Fig13(w io.Writer, o Options) error {
+	trsAxis, ortAxis := sweepAxes(o)
+	fmt.Fprintf(w, "Figure 13 (average of 9 benchmarks): decode rate [cycles/task]\n")
+	fmt.Fprintf(w, "%8s", "#TRS")
+	for _, nort := range ortAxis {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("%d ORT", nort))
+	}
+	fmt.Fprintln(w)
+	for _, ntrs := range trsAxis {
+		fmt.Fprintf(w, "%8d", ntrs)
+		for _, nort := range ortAxis {
+			var avg stats.Sample
+			for _, wl := range workloads.All() {
+				r, err := decodeRate(wl, ntrs, nort, o)
+				if err != nil {
+					return err
+				}
+				avg.Add(r)
+			}
+			fmt.Fprintf(w, " %8.0f", avg.Mean())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "rate limits: 128 processors = 375 cycles/task, 256 processors = 187 cycles/task\n")
+	return nil
+}
+
+// capacitySweep runs a speedup sweep over a frontend-capacity axis.
+func capacitySweep(w io.Writer, o Options, title string, axis []uint64,
+	configure func(cfg *tss.Config, capacity uint64), names []string) error {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10s", "capacity")
+	for _, n := range names {
+		fmt.Fprintf(w, " %9s", n)
+	}
+	fmt.Fprintf(w, " %9s\n", "Average")
+	// The average column covers all nine benchmarks, like the paper.
+	for _, capBytes := range axis {
+		fmt.Fprintf(w, "%10s", fmtBytes(capBytes))
+		var all stats.Sample
+		byName := map[string]float64{}
+		for _, wl := range workloads.All() {
+			b := wl.Gen(o.budget(fullBudget(wl.Name)), o.Seed)
+			cfg := baseConfig(o.cores())
+			configure(&cfg, capBytes)
+			res, err := runHW(b, cfg)
+			if err != nil {
+				return fmt.Errorf("%s at %s: %w", wl.Name, fmtBytes(capBytes), err)
+			}
+			sp := speedupOverSeq(b.Tasks, res)
+			all.Add(sp)
+			byName[wl.Name] = sp
+		}
+		for _, n := range names {
+			fmt.Fprintf(w, " %9.0f", byName[n])
+		}
+		fmt.Fprintf(w, " %9.0f\n", all.Mean())
+	}
+	return nil
+}
+
+// Fig14 sweeps the total ORT capacity.
+func Fig14(w io.Writer, o Options) error {
+	axis := []uint64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	if o.Quick {
+		axis = []uint64{16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	return capacitySweep(w, o,
+		"Figure 14: speedup (over sequential) vs total ORT capacity [8 TRS / 2 ORT, 256p]",
+		axis,
+		func(cfg *tss.Config, capacity uint64) {
+			cfg.Frontend.ORTBytesEach = capacity / uint64(cfg.Frontend.NumORT)
+		},
+		[]string{"Cholesky", "H264"})
+}
+
+// Fig15 sweeps the total TRS capacity.
+func Fig15(w io.Writer, o Options) error {
+	axis := []uint64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 6 << 20, 8 << 20}
+	if o.Quick {
+		axis = []uint64{128 << 10, 512 << 10, 2 << 20, 6 << 20}
+	}
+	return capacitySweep(w, o,
+		"Figure 15: speedup (over sequential) vs total TRS capacity [8 TRS / 2 ORT, 256p]",
+		axis,
+		func(cfg *tss.Config, capacity uint64) {
+			cfg.Frontend.TRSBytesEach = capacity / uint64(cfg.Frontend.NumTRS)
+		},
+		[]string{"Cholesky", "H264"})
+}
+
+// Fig16 compares hardware-pipeline and software-runtime speedups at 32-256
+// cores for every benchmark.
+func Fig16(w io.Writer, o Options) error {
+	coreAxis := []int{32, 64, 128, 256}
+	if o.Quick {
+		coreAxis = []int{32, 256}
+	}
+	fmt.Fprintf(w, "Figure 16: speedup over sequential execution\n")
+	fmt.Fprintf(w, "%-10s %-9s", "Benchmark", "Runtime")
+	for _, c := range coreAxis {
+		fmt.Fprintf(w, " %7dp", c)
+	}
+	fmt.Fprintln(w)
+	avgAt := map[string]map[int]*stats.Sample{"hw": {}, "sw": {}}
+	for _, c := range coreAxis {
+		avgAt["hw"][c] = &stats.Sample{}
+		avgAt["sw"][c] = &stats.Sample{}
+	}
+	for _, wl := range workloads.All() {
+		b := wl.Gen(o.budget(fullBudget(wl.Name)), o.Seed)
+		for _, kind := range []string{"hw", "sw"} {
+			label := "task-ss"
+			if kind == "sw" {
+				label = "software"
+			}
+			fmt.Fprintf(w, "%-10s %-9s", wl.Name, label)
+			for _, c := range coreAxis {
+				cfg := baseConfig(c)
+				if kind == "sw" {
+					cfg.Runtime = tss.SoftwareRuntime
+				}
+				res, err := tss.RunTasks(b.Tasks, cfg)
+				if err != nil {
+					return fmt.Errorf("%s %s %dp: %w", wl.Name, kind, c, err)
+				}
+				sp := speedupOverSeq(b.Tasks, res)
+				avgAt[kind][c].Add(sp)
+				fmt.Fprintf(w, " %8.0f", sp)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, kind := range []string{"hw", "sw"} {
+		label := "task-ss"
+		if kind == "sw" {
+			label = "software"
+		}
+		fmt.Fprintf(w, "%-10s %-9s", "Average", label)
+		for _, c := range coreAxis {
+			fmt.Fprintf(w, " %8.0f", avgAt[kind][c].Mean())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Headline reproduces the abstract's claims on the default configuration.
+func Headline(w io.Writer, o Options) error {
+	cfg := baseConfig(o.cores())
+	fe := cfg.Frontend
+	eDRAM := uint64(fe.NumTRS)*fe.TRSBytesEach +
+		uint64(fe.NumORT)*(fe.ORTBytesEach+fe.OVTBytesEach)
+	fmt.Fprintf(w, "Headline: default pipeline = %d TRS + %d ORT/OVT, %s eDRAM (paper: 7 MB)\n",
+		fe.NumTRS, fe.NumORT, fmtBytes(eDRAM))
+	var rates, speeds stats.Sample
+	var windows []int64
+	for _, wl := range workloads.All() {
+		b := wl.Gen(o.budget(fullBudget(wl.Name)), o.Seed)
+		res, err := runHW(b, cfg)
+		if err != nil {
+			return err
+		}
+		sp := speedupOverSeq(b.Tasks, res)
+		rates.Add(res.DecodeRateNs())
+		speeds.Add(sp)
+		windows = append(windows, res.WindowMax)
+		fmt.Fprintf(w, "  %-10s decode %6.0f ns/task  speedup %5.0fx  window max %6d tasks\n",
+			wl.Name, res.DecodeRateNs(), sp, res.WindowMax)
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	fmt.Fprintf(w, "decode rate: median %.0f ns/task (paper: <60 ns avg)\n", rates.Median())
+	fmt.Fprintf(w, "speedups at %dp: %.0f-%.0fx, average %.0fx (paper: 95-255x, avg 183x)\n",
+		o.cores(), speeds.Min(), speeds.Max(), speeds.Mean())
+	fmt.Fprintf(w, "task windows: %d-%d tasks (paper: 12,000-50,000 at 6 MB TRS)\n",
+		windows[0], windows[len(windows)-1])
+	return nil
+}
+
+// Chains reports consumer-chain and TRS-fragmentation statistics (§IV.B).
+func Chains(w io.Writer, o Options) error {
+	cfg := baseConfig(o.cores())
+	fmt.Fprintf(w, "Consumer chains and TRS storage (paper: 95%% of chains <=2 for 7 of 9; ~20%% fragmentation)\n")
+	fmt.Fprintf(w, "%-10s %12s %10s %14s\n", "Benchmark", "chains<=2", "chain p95", "fragmentation")
+	for _, wl := range workloads.All() {
+		b := wl.Gen(o.budget(fullBudget(wl.Name))/2, o.Seed)
+		res, err := runHW(b, cfg)
+		if err != nil {
+			return err
+		}
+		fs := res.Frontend
+		fmt.Fprintf(w, "%-10s %11.0f%% %10.0f %13.0f%%\n",
+			wl.Name, fs.ChainFracAtMost2*100, fs.ChainP95, fs.InternalFragmentation*100)
+	}
+	return nil
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 42, Cores: 64}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig12", "fig13", "fig14", "fig15", "fig16", "headline", "chains"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if _, ok := Get(id); !ok {
+			t.Fatalf("Get(%q) failed", id)
+		}
+	}
+	if _, ok := Get("nosuch"); ok {
+		t.Fatal("Get accepted a bogus ID")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Cholesky", "MatMul", "FFT", "H264", "KMeans", "Knn", "PBPI", "SPECFEM", "STAP"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts()
+	if err := Fig12(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Cholesky") || !strings.Contains(buf.String(), "H264") {
+		t.Fatalf("Fig12 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig14(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "16KB") {
+		t.Fatalf("Fig14 output missing capacity axis:\n%s", buf.String())
+	}
+}
+
+func TestFig16Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig16(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "task-ss") || !strings.Contains(out, "software") {
+		t.Fatalf("Fig16 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "Average") {
+		t.Fatalf("Fig16 missing average rows:\n%s", out)
+	}
+}
+
+func TestHeadlineQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Headline(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7 MB") {
+		t.Fatalf("Headline missing eDRAM comparison:\n%s", buf.String())
+	}
+}
+
+func TestChainsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chains(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fragmentation") {
+		t.Fatalf("Chains output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:       "512B",
+		16 << 10:  "16KB",
+		512 << 10: "512KB",
+		6 << 20:   "6MB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"testing"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+func benchTasks(n int) []*taskmodel.Task {
+	tasks := make([]*taskmodel.Task, n)
+	for i := range tasks {
+		tasks[i] = &taskmodel.Task{
+			Seq:     uint64(i),
+			Runtime: 1000,
+			Operands: []taskmodel.Operand{
+				{Base: taskmodel.Addr(0x1000 * (i % 64)), Size: 64, Dir: taskmodel.In},
+				{Base: taskmodel.Addr(0x1000 * ((i * 7) % 64)), Size: 64, Dir: taskmodel.Out},
+			},
+		}
+	}
+	return tasks
+}
+
+// BenchmarkBuild measures oracle graph construction.
+func BenchmarkBuild(b *testing.B) {
+	tasks := benchTasks(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(tasks, Options{Renaming: true})
+	}
+}
+
+// BenchmarkAnalyze measures critical-path and width analytics.
+func BenchmarkAnalyze(b *testing.B) {
+	g := Build(benchTasks(2000), Options{Renaming: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Analyze()
+	}
+}

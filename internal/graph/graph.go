@@ -1,0 +1,251 @@
+// Package graph builds the reference inter-task data dependency graph for a
+// task stream under sequential semantics. The simulator validates itself
+// against this oracle: any execution order the pipeline produces must respect
+// the graph. The package also computes parallelism analytics (critical path,
+// average and peak parallelism) and renders Figure-1-style DOT output.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// Options control which dependencies become edges.
+type Options struct {
+	// Renaming mirrors the pipeline's OVT renaming: pure output operands
+	// are renamed into fresh buffers, so WaR and WaW edges are not added
+	// for them. InOut operands are never renamed (true dependencies) and
+	// keep their WaR edges against readers of the previous version.
+	// Without renaming, all WaR and WaW edges are included.
+	Renaming bool
+}
+
+// Graph is a DAG over tasks; node i is the task with Seq i. Edges always
+// point from earlier to later tasks (creation order is a topological order).
+type Graph struct {
+	Tasks []*taskmodel.Task
+	// Succ[i] lists direct successors of task i, sorted ascending.
+	Succ [][]int32
+	// Pred[i] lists direct predecessors of task i, sorted ascending.
+	Pred [][]int32
+	// EdgeCount is the number of distinct edges.
+	EdgeCount int
+}
+
+// objState tracks per-object history during construction.
+type objState struct {
+	lastWriter       int32 // -1 when the object has no in-stream producer yet
+	readersSinceLast []int32
+}
+
+// Build constructs the dependency graph for tasks in slice order.
+func Build(tasks []*taskmodel.Task, opts Options) *Graph {
+	g := &Graph{
+		Tasks: tasks,
+		Succ:  make([][]int32, len(tasks)),
+		Pred:  make([][]int32, len(tasks)),
+	}
+	state := make(map[taskmodel.Addr]*objState)
+	get := func(a taskmodel.Addr) *objState {
+		s, ok := state[a]
+		if !ok {
+			s = &objState{lastWriter: -1}
+			state[a] = s
+		}
+		return s
+	}
+
+	for i, t := range tasks {
+		ti := int32(i)
+		preds := map[int32]struct{}{}
+		// Phase 1: collect edges against the pre-task state.
+		for _, op := range t.Operands {
+			if op.Dir == taskmodel.Scalar {
+				continue
+			}
+			s := get(op.Base)
+			if op.Dir.Reads() {
+				if s.lastWriter >= 0 {
+					preds[s.lastWriter] = struct{}{} // RaW
+				}
+			}
+			if op.Dir.Writes() {
+				inPlace := op.Dir == taskmodel.InOut || !opts.Renaming
+				if inPlace {
+					for _, r := range s.readersSinceLast {
+						if r != ti {
+							preds[r] = struct{}{} // WaR
+						}
+					}
+					if !opts.Renaming && s.lastWriter >= 0 {
+						preds[s.lastWriter] = struct{}{} // WaW
+					}
+				}
+			}
+		}
+		// Phase 2: update state with this task's effects.
+		for _, op := range t.Operands {
+			if op.Dir == taskmodel.Scalar {
+				continue
+			}
+			s := get(op.Base)
+			if op.Dir.Writes() {
+				s.lastWriter = ti
+				s.readersSinceLast = s.readersSinceLast[:0]
+			}
+			if op.Dir.Reads() || op.Dir.Writes() {
+				// Writers are also recorded as users so future
+				// in-place writers wait for them.
+				s.readersSinceLast = append(s.readersSinceLast, ti)
+			}
+		}
+		edge := make([]int32, 0, len(preds))
+		for p := range preds {
+			edge = append(edge, p)
+		}
+		sort.Slice(edge, func(a, b int) bool { return edge[a] < edge[b] })
+		g.Pred[i] = edge
+		for _, p := range edge {
+			g.Succ[p] = append(g.Succ[p], ti)
+		}
+		g.EdgeCount += len(edge)
+	}
+	return g
+}
+
+// Roots returns the tasks with no predecessors.
+func (g *Graph) Roots() []int {
+	var out []int
+	for i := range g.Tasks {
+		if len(g.Pred[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Analytics summarizes the parallelism embedded in the graph.
+type Analytics struct {
+	Tasks          int
+	Edges          int
+	TotalWork      uint64  // sum of task runtimes (cycles)
+	CriticalPath   uint64  // longest runtime-weighted path (cycles)
+	AvgParallelism float64 // TotalWork / CriticalPath
+	PeakWidth      int     // max concurrent tasks under ASAP schedule
+	MaxDepth       int     // longest path in hops
+}
+
+// Analyze computes runtime-weighted critical path and width statistics.
+func (g *Graph) Analyze() Analytics {
+	n := len(g.Tasks)
+	a := Analytics{Tasks: n, Edges: g.EdgeCount}
+	finish := make([]uint64, n)
+	depth := make([]int, n)
+	type interval struct{ start, end uint64 }
+	ivs := make([]interval, n)
+	for i, t := range g.Tasks {
+		var start uint64
+		d := 0
+		for _, p := range g.Pred[i] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		finish[i] = start + t.Runtime
+		depth[i] = d
+		ivs[i] = interval{start, finish[i]}
+		a.TotalWork += t.Runtime
+		if finish[i] > a.CriticalPath {
+			a.CriticalPath = finish[i]
+		}
+		if d > a.MaxDepth {
+			a.MaxDepth = d
+		}
+	}
+	if a.CriticalPath > 0 {
+		a.AvgParallelism = float64(a.TotalWork) / float64(a.CriticalPath)
+	}
+	// Peak width by event sweep over ASAP intervals.
+	type ev struct {
+		at    uint64
+		delta int
+	}
+	evs := make([]ev, 0, 2*n)
+	for _, iv := range ivs {
+		if iv.end == iv.start {
+			continue
+		}
+		evs = append(evs, ev{iv.start, +1}, ev{iv.end, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // end before start at same cycle
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > a.PeakWidth {
+			a.PeakWidth = cur
+		}
+	}
+	return a
+}
+
+// ValidateSchedule checks that observed start times respect every edge:
+// a task may only start after all its predecessors finished. start and
+// finish are indexed by task Seq. It returns the first violated edge.
+func (g *Graph) ValidateSchedule(start, finish []uint64) error {
+	if len(start) != len(g.Tasks) || len(finish) != len(g.Tasks) {
+		return fmt.Errorf("graph: schedule length %d/%d, want %d", len(start), len(finish), len(g.Tasks))
+	}
+	for i := range g.Tasks {
+		for _, p := range g.Pred[i] {
+			if start[i] < finish[p] {
+				return fmt.Errorf("graph: task %d started at %d before predecessor %d finished at %d",
+					i, start[i], p, finish[p])
+			}
+		}
+	}
+	return nil
+}
+
+// dotPalette provides fill shades per kernel, echoing Figure 1's shading.
+var dotPalette = []string{
+	"white", "gray85", "gray70", "gray55", "gray40",
+	"lightblue", "lightsalmon", "palegreen", "khaki",
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. Nodes are numbered by
+// creation order starting at 1 and shaded by kernel, like Figure 1 of the
+// paper. reg may be nil; it supplies kernel names for the legend.
+func (g *Graph) WriteDOT(w io.Writer, reg *taskmodel.Registry) error {
+	if _, err := fmt.Fprintln(w, "digraph tasks {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=circle style=filled fontsize=10];")
+	for i, t := range g.Tasks {
+		color := dotPalette[int(t.Kernel)%len(dotPalette)]
+		label := fmt.Sprintf("%d", i+1)
+		tip := ""
+		if reg != nil {
+			tip = fmt.Sprintf(" tooltip=\"%s\"", reg.Name(t.Kernel))
+		}
+		fmt.Fprintf(w, "  t%d [label=\"%s\" fillcolor=\"%s\"%s];\n", i, label, color, tip)
+	}
+	for i := range g.Tasks {
+		for _, s := range g.Succ[i] {
+			fmt.Fprintf(w, "  t%d -> t%d;\n", i, s)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+func task(run uint64, ops ...taskmodel.Operand) *taskmodel.Task {
+	return &taskmodel.Task{Runtime: run, Operands: ops}
+}
+
+func in(a taskmodel.Addr) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: 64, Dir: taskmodel.In}
+}
+func out(a taskmodel.Addr) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: 64, Dir: taskmodel.Out}
+}
+func inout(a taskmodel.Addr) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: 64, Dir: taskmodel.InOut}
+}
+
+func seqd(tasks []*taskmodel.Task) []*taskmodel.Task {
+	for i, t := range tasks {
+		t.Seq = uint64(i)
+	}
+	return tasks
+}
+
+func TestRaWEdge(t *testing.T) {
+	tasks := seqd([]*taskmodel.Task{
+		task(10, out(0x1000)),
+		task(10, in(0x1000)),
+	})
+	g := Build(tasks, Options{Renaming: true})
+	if g.EdgeCount != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount)
+	}
+	if len(g.Pred[1]) != 1 || g.Pred[1][0] != 0 {
+		t.Fatalf("task 1 preds = %v, want [0]", g.Pred[1])
+	}
+}
+
+func TestRenamingBreaksWaRWaW(t *testing.T) {
+	// reader of A, then writer of A: with renaming no edge; without, WaR.
+	tasks := seqd([]*taskmodel.Task{
+		task(10, in(0x1000)),
+		task(10, out(0x1000)),
+	})
+	if g := Build(tasks, Options{Renaming: true}); g.EdgeCount != 0 {
+		t.Fatalf("renamed WaR: EdgeCount = %d, want 0", g.EdgeCount)
+	}
+	if g := Build(tasks, Options{Renaming: false}); g.EdgeCount != 1 {
+		t.Fatalf("unrenamed WaR: EdgeCount = %d, want 1", g.EdgeCount)
+	}
+	// writer, writer: WaW only without renaming.
+	tasks = seqd([]*taskmodel.Task{
+		task(10, out(0x1000)),
+		task(10, out(0x1000)),
+	})
+	if g := Build(tasks, Options{Renaming: true}); g.EdgeCount != 0 {
+		t.Fatalf("renamed WaW: EdgeCount = %d, want 0", g.EdgeCount)
+	}
+	if g := Build(tasks, Options{Renaming: false}); g.EdgeCount != 1 {
+		t.Fatalf("unrenamed WaW: EdgeCount = %d, want 1", g.EdgeCount)
+	}
+}
+
+func TestInOutIsNeverRenamed(t *testing.T) {
+	// Producer, two readers, then an inout writer. The inout updates the
+	// object in place, so it must wait for both readers and the producer
+	// even with renaming enabled.
+	tasks := seqd([]*taskmodel.Task{
+		task(10, out(0x1000)),
+		task(10, in(0x1000)),
+		task(10, in(0x1000)),
+		task(10, inout(0x1000)),
+	})
+	g := Build(tasks, Options{Renaming: true})
+	preds := g.Pred[3]
+	if len(preds) != 3 {
+		t.Fatalf("inout preds = %v, want [0 1 2]", preds)
+	}
+}
+
+func TestInOutChainSerializes(t *testing.T) {
+	tasks := seqd([]*taskmodel.Task{
+		task(10, inout(0x1000)),
+		task(10, inout(0x1000)),
+		task(10, inout(0x1000)),
+	})
+	g := Build(tasks, Options{Renaming: true})
+	a := g.Analyze()
+	if a.CriticalPath != 30 {
+		t.Fatalf("inout chain critical path = %d, want 30", a.CriticalPath)
+	}
+	if a.PeakWidth != 1 {
+		t.Fatalf("inout chain peak width = %d, want 1", a.PeakWidth)
+	}
+}
+
+func TestAnalyzeIndependentTasks(t *testing.T) {
+	var tasks []*taskmodel.Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, task(100, out(taskmodel.Addr(0x1000*(i+1)))))
+	}
+	g := Build(seqd(tasks), Options{Renaming: true})
+	a := g.Analyze()
+	if a.CriticalPath != 100 {
+		t.Fatalf("critical path = %d, want 100", a.CriticalPath)
+	}
+	if a.PeakWidth != 8 {
+		t.Fatalf("peak width = %d, want 8", a.PeakWidth)
+	}
+	if a.AvgParallelism < 7.9 || a.AvgParallelism > 8.1 {
+		t.Fatalf("avg parallelism = %f, want ~8", a.AvgParallelism)
+	}
+	if a.MaxDepth != 0 {
+		t.Fatalf("max depth = %d, want 0", a.MaxDepth)
+	}
+}
+
+func TestDiamondGraph(t *testing.T) {
+	// 0 -> {1,2} -> 3
+	tasks := seqd([]*taskmodel.Task{
+		task(5, out(0xA000)),
+		task(7, in(0xA000), out(0xB000)),
+		task(9, in(0xA000), out(0xC000)),
+		task(5, in(0xB000), in(0xC000)),
+	})
+	g := Build(tasks, Options{Renaming: true})
+	if got := g.Pred[3]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("diamond join preds = %v, want [1 2]", got)
+	}
+	a := g.Analyze()
+	if a.CriticalPath != 5+9+5 {
+		t.Fatalf("critical path = %d, want 19", a.CriticalPath)
+	}
+	if a.MaxDepth != 2 {
+		t.Fatalf("depth = %d, want 2", a.MaxDepth)
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Fatalf("roots = %v, want [0]", roots)
+	}
+}
+
+func TestValidateSchedule(t *testing.T) {
+	tasks := seqd([]*taskmodel.Task{
+		task(10, out(0x1000)),
+		task(10, in(0x1000)),
+	})
+	g := Build(tasks, Options{Renaming: true})
+	if err := g.ValidateSchedule([]uint64{0, 10}, []uint64{10, 20}); err != nil {
+		t.Fatalf("legal schedule rejected: %v", err)
+	}
+	if err := g.ValidateSchedule([]uint64{0, 5}, []uint64{10, 15}); err == nil {
+		t.Fatal("overlapping dependent tasks accepted")
+	}
+	if err := g.ValidateSchedule([]uint64{0}, []uint64{0}); err == nil {
+		t.Fatal("wrong-length schedule accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var reg taskmodel.Registry
+	k := reg.Register("sgemm")
+	tasks := seqd([]*taskmodel.Task{
+		task(1, out(0x1000)),
+		task(1, in(0x1000)),
+	})
+	tasks[0].Kernel = k
+	var buf bytes.Buffer
+	g := Build(tasks, Options{Renaming: true})
+	if err := g.WriteDOT(&buf, &reg); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph tasks", "t0 -> t1", "label=\"1\"", "label=\"2\""} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: edges always point forward (creation order is topological), and
+// Succ/Pred are mutually consistent, for random task streams.
+func TestGraphWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		tasks := make([]*taskmodel.Task, n)
+		for i := range tasks {
+			nops := 1 + rng.Intn(4)
+			ops := make([]taskmodel.Operand, nops)
+			for j := range ops {
+				ops[j] = taskmodel.Operand{
+					Base: taskmodel.Addr(0x1000 * (1 + rng.Intn(8))),
+					Size: 64,
+					Dir:  taskmodel.Dir(rng.Intn(3)),
+				}
+			}
+			tasks[i] = task(uint64(1+rng.Intn(100)), ops...)
+		}
+		g := Build(seqd(tasks), Options{Renaming: rng.Intn(2) == 0})
+		for i := range g.Tasks {
+			for _, p := range g.Pred[i] {
+				if int(p) >= i {
+					return false // edge not forward
+				}
+				found := false
+				for _, s := range g.Succ[p] {
+					if int(s) == i {
+						found = true
+					}
+				}
+				if !found {
+					return false // succ/pred mismatch
+				}
+			}
+		}
+		// ASAP schedule from Analyze must validate against the graph.
+		finish := make([]uint64, n)
+		start := make([]uint64, n)
+		for i, tk := range g.Tasks {
+			var s uint64
+			for _, p := range g.Pred[i] {
+				if finish[p] > s {
+					s = finish[p]
+				}
+			}
+			start[i] = s
+			finish[i] = s + tk.Runtime
+		}
+		return g.ValidateSchedule(start, finish) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: renaming never adds edges — the renamed graph is a subgraph of
+// the unrenamed one.
+func TestRenamingSubgraphProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		tasks := make([]*taskmodel.Task, n)
+		for i := range tasks {
+			ops := []taskmodel.Operand{{
+				Base: taskmodel.Addr(0x1000 * (1 + rng.Intn(4))),
+				Size: 64,
+				Dir:  taskmodel.Dir(rng.Intn(3)),
+			}}
+			tasks[i] = task(1, ops...)
+		}
+		seqd(tasks)
+		ren := Build(tasks, Options{Renaming: true})
+		unren := Build(tasks, Options{Renaming: false})
+		if ren.EdgeCount > unren.EdgeCount {
+			return false
+		}
+		for i := range ren.Tasks {
+			unrenPreds := map[int32]bool{}
+			for _, p := range unren.Pred[i] {
+				unrenPreds[p] = true
+			}
+			for _, p := range ren.Pred[i] {
+				if !unrenPreds[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"testing"
+
+	"tasksuperscalar/internal/noc"
+	"tasksuperscalar/internal/sim"
+)
+
+// BenchmarkCacheAccess measures single-line set-associative lookups.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewSetAssocCache(L1Config())
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64)%(128<<10), i%4 == 0)
+	}
+}
+
+// BenchmarkCacheAccessRange measures bulk (operand-sized) accesses.
+func BenchmarkCacheAccessRange(b *testing.B) {
+	c := NewSetAssocCache(L1Config())
+	b.SetBytes(16 << 10)
+	for i := 0; i < b.N; i++ {
+		c.AccessRange(uint64(i%8)*(16<<10), 16<<10, false)
+	}
+}
+
+// BenchmarkSystemFetch measures object-granular coherent fetches.
+func BenchmarkSystemFetch(b *testing.B) {
+	e := sim.NewEngine()
+	net := noc.NewNetwork(e, 8, noc.DefaultConfig())
+	var coreNodes []noc.NodeID
+	for i := 0; i < 16; i++ {
+		coreNodes = append(coreNodes, net.AddCore("c"))
+	}
+	m := NewSystem(e, net, coreNodes, DefaultSystemConfig(16))
+	net.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Fetch(i%16, uint64(0x10000+(i%64)*0x10000), 16<<10, nil)
+		if i%256 == 255 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

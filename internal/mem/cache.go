@@ -1,0 +1,201 @@
+// Package mem models the CMP memory system of Table II: private L1 caches,
+// a banked shared L2 with a directory-based MSI protocol, DDR3 memory
+// controllers, and the DMA engine the OVT uses to copy rename buffers back
+// to their original addresses.
+//
+// Two granularities are provided. SetAssocCache is a classic line-granular
+// set-associative LRU cache used for detailed modeling and validation. The
+// System type tracks coherence at memory-object granularity (an operand is
+// fetched and written back as one DMA-style burst, matching how the paper's
+// Cell-derived runtime stages task operands), which keeps large simulations
+// fast while exercising the same protocol states.
+package mem
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/sim"
+)
+
+// CacheConfig sizes a set-associative cache.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Latency   sim.Cycle
+}
+
+// L1Config returns the Table II private L1: 64 KB, 4-way, 3-cycle latency.
+func L1Config() CacheConfig {
+	return CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, Latency: 3}
+}
+
+// L2BankConfig returns one Table II L2 bank: 4 MB, 8-way, 22-cycle latency.
+func L2BankConfig() CacheConfig {
+	return CacheConfig{SizeBytes: 4 << 20, LineBytes: 64, Ways: 8, Latency: 22}
+}
+
+type cline struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// SetAssocCache is a line-granular set-associative cache with LRU
+// replacement and write-back, write-allocate policy.
+type SetAssocCache struct {
+	cfg   CacheConfig
+	sets  [][]cline
+	nsets int
+	tick  uint64
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// NewSetAssocCache builds a cache from cfg. Size must be divisible by
+// LineBytes*Ways.
+func NewSetAssocCache(cfg CacheConfig) *SetAssocCache {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("mem: invalid cache config")
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if nsets == 0 {
+		panic("mem: cache smaller than one set")
+	}
+	c := &SetAssocCache{cfg: cfg, nsets: nsets, sets: make([][]cline, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]cline, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *SetAssocCache) Config() CacheConfig { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *SetAssocCache) Sets() int { return c.nsets }
+
+func (c *SetAssocCache) index(addr uint64) (set int, tag uint64) {
+	line := addr / uint64(c.cfg.LineBytes)
+	return int(line % uint64(c.nsets)), line / uint64(c.nsets)
+}
+
+// AccessResult reports the outcome of a single-line access.
+type AccessResult struct {
+	Hit         bool
+	Evicted     bool   // a valid line was displaced
+	VictimAddr  uint64 // base address of the displaced line
+	VictimDirty bool   // displaced line needed a writeback
+}
+
+// Access touches the line containing addr. With write=true the line becomes
+// dirty. On a miss the line is allocated, possibly displacing the LRU way.
+func (c *SetAssocCache) Access(addr uint64, write bool) AccessResult {
+	set, tag := c.index(addr)
+	c.tick++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if ways[victim].valid {
+		res.Evicted = true
+		res.VictimDirty = ways[victim].dirty
+		res.VictimAddr = (ways[victim].tag*uint64(c.nsets) + uint64(set)) * uint64(c.cfg.LineBytes)
+		c.evictions++
+		if ways[victim].dirty {
+			c.writebacks++
+		}
+	}
+	ways[victim] = cline{tag: tag, valid: true, dirty: write, used: c.tick}
+	return res
+}
+
+// AccessRange touches every line in [addr, addr+size) and returns the hit
+// and miss counts plus the number of dirty evictions triggered.
+func (c *SetAssocCache) AccessRange(addr uint64, size uint32, write bool) (hits, misses, writebacks uint64) {
+	if size == 0 {
+		return 0, 0, 0
+	}
+	lb := uint64(c.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(size) - 1) / lb
+	for line := first; line <= last; line++ {
+		r := c.Access(line*lb, write)
+		if r.Hit {
+			hits++
+		} else {
+			misses++
+			if r.VictimDirty {
+				writebacks++
+			}
+		}
+	}
+	return hits, misses, writebacks
+}
+
+// Contains reports whether the line holding addr is resident.
+func (c *SetAssocCache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line holding addr and reports whether it was dirty.
+func (c *SetAssocCache) Invalidate(addr uint64) (wasDirty bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			wasDirty = w.dirty
+			w.valid = false
+			w.dirty = false
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative hit/miss/eviction/writeback counts.
+func (c *SetAssocCache) Stats() (hits, misses, evictions, writebacks uint64) {
+	return c.hits, c.misses, c.evictions, c.writebacks
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no accesses happened.
+func (c *SetAssocCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// String summarizes the cache for logs.
+func (c *SetAssocCache) String() string {
+	return fmt.Sprintf("cache{%dKB %d-way %dB lines, hit %.1f%%}",
+		c.cfg.SizeBytes>>10, c.cfg.Ways, c.cfg.LineBytes, c.HitRate()*100)
+}

@@ -1,0 +1,75 @@
+package mem
+
+import "tasksuperscalar/internal/sim"
+
+// DRAMConfig models the Table II main memory: 4 memory controllers with 2
+// channels each, one 800 MHz DDR3 DIMM per channel. At the 3.2 GHz core
+// clock a DDR3-1600-style channel sustains about 2 bytes per core cycle;
+// access latency is on the order of 50 ns (160 core cycles).
+type DRAMConfig struct {
+	Controllers   int
+	ChannelsPerMC int
+	Latency       sim.Cycle // fixed access latency per transfer
+	BytesPerCycle float64   // sustained bandwidth per channel
+}
+
+// DefaultDRAMConfig returns the Table II configuration.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{Controllers: 4, ChannelsPerMC: 2, Latency: 160, BytesPerCycle: 2}
+}
+
+// DRAM models channel occupancy: each channel serves transfers serially at
+// its sustained bandwidth after the fixed latency.
+type DRAM struct {
+	eng  *sim.Engine
+	cfg  DRAMConfig
+	busy []sim.Cycle // per-channel busy-until
+
+	transfers uint64
+	bytes     uint64
+}
+
+// NewDRAM creates the memory system.
+func NewDRAM(eng *sim.Engine, cfg DRAMConfig) *DRAM {
+	n := cfg.Controllers * cfg.ChannelsPerMC
+	if n <= 0 {
+		n = 1
+	}
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 2
+	}
+	return &DRAM{eng: eng, cfg: cfg, busy: make([]sim.Cycle, n)}
+}
+
+// Channels returns the number of independent channels.
+func (d *DRAM) Channels() int { return len(d.busy) }
+
+// channelFor statically interleaves addresses across channels at 4 KB
+// granularity.
+func (d *DRAM) channelFor(addr uint64) int {
+	return int((addr >> 12) % uint64(len(d.busy)))
+}
+
+// Transfer reserves channel time for moving the given bytes to or from the
+// address and returns the completion cycle. Transfers on the same channel
+// serialize; distinct channels proceed in parallel.
+func (d *DRAM) Transfer(addr uint64, bytes uint32) sim.Cycle {
+	ch := d.channelFor(addr)
+	now := d.eng.Now()
+	start := now
+	if d.busy[ch] > start {
+		start = d.busy[ch]
+	}
+	occupancy := sim.Cycle(float64(bytes) / d.cfg.BytesPerCycle)
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	done := start + d.cfg.Latency + occupancy
+	d.busy[ch] = start + occupancy // latency is pipelined; bandwidth is not
+	d.transfers++
+	d.bytes += uint64(bytes)
+	return done
+}
+
+// Stats returns the number of transfers and total bytes moved.
+func (d *DRAM) Stats() (transfers, bytes uint64) { return d.transfers, d.bytes }

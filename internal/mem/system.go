@@ -1,0 +1,451 @@
+package mem
+
+import (
+	"tasksuperscalar/internal/sim"
+
+	"tasksuperscalar/internal/noc"
+)
+
+// SystemConfig sizes the object-granular coherent memory system.
+type SystemConfig struct {
+	Cores      int
+	L1Bytes    uint64    // per-core L1 capacity (64 KB)
+	L1Latency  sim.Cycle // 3 cycles
+	L2Banks    int       // 32 banks
+	L2Latency  sim.Cycle // 22 cycles
+	DRAM       DRAMConfig
+	LineDetail bool // additionally drive per-core line-granular L1 models
+	CtrlBytes  uint32
+}
+
+// DefaultSystemConfig returns the Table II memory system for the given core
+// count.
+func DefaultSystemConfig(cores int) SystemConfig {
+	return SystemConfig{
+		Cores:     cores,
+		L1Bytes:   64 << 10,
+		L1Latency: 3,
+		L2Banks:   32,
+		L2Latency: 22,
+		DRAM:      DefaultDRAMConfig(),
+		CtrlBytes: 16,
+	}
+}
+
+// dirEntry is the directory state for one memory object, embedded in the L2
+// (MSI at object granularity: an object is Modified in one L1, Shared in
+// several, or only present in L2/DRAM).
+type dirEntry struct {
+	size    uint32
+	inL2    bool
+	owner   int32 // core holding a dirty copy, -1 if none
+	sharers []int32
+}
+
+func (d *dirEntry) addSharer(c int32) {
+	for _, s := range d.sharers {
+		if s == c {
+			return
+		}
+	}
+	d.sharers = append(d.sharers, c)
+}
+
+func (d *dirEntry) dropSharer(c int32) {
+	for i, s := range d.sharers {
+		if s == c {
+			d.sharers[i] = d.sharers[len(d.sharers)-1]
+			d.sharers = d.sharers[:len(d.sharers)-1]
+			return
+		}
+	}
+}
+
+// l1Obj tracks one object resident in a core's L1.
+type l1Obj struct {
+	size  uint32
+	dirty bool
+	used  uint64
+}
+
+type l1State struct {
+	objs map[uint64]*l1Obj
+	used uint64
+	tick uint64
+}
+
+// System is the object-granular coherent memory hierarchy. Worker cores
+// fetch task operands as DMA-style bursts, the directory keeps L1 copies
+// coherent, and the DMA engine copies rename buffers back to their home
+// addresses on behalf of the OVT.
+type System struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	cfg  SystemConfig
+	dram *DRAM
+
+	coreNodes []noc.NodeID
+	bankNodes []noc.NodeID
+	dmaNode   noc.NodeID
+
+	dir map[uint64]*dirEntry
+	l1  []*l1State
+	// Optional line-granular models for validation/ablation.
+	l1Lines []*SetAssocCache
+
+	// Stats.
+	fetches       uint64
+	l1ObjHits     uint64
+	invalidations uint64
+	writebacks    uint64
+	dmaCopies     uint64
+	bytesMoved    uint64
+}
+
+// NewSystem builds the memory system and attaches its L2 banks, memory
+// controllers and DMA engine to the network. coreNodes must already be
+// attached by the caller (the backend owns core nodes).
+func NewSystem(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg SystemConfig) *System {
+	m := &System{
+		eng:       eng,
+		net:       net,
+		cfg:       cfg,
+		dram:      NewDRAM(eng, cfg.DRAM),
+		coreNodes: coreNodes,
+		dir:       make(map[uint64]*dirEntry),
+	}
+	for i := 0; i < cfg.L2Banks; i++ {
+		m.bankNodes = append(m.bankNodes, net.AddGlobalNode("l2bank"))
+	}
+	m.dmaNode = net.AddGlobalNode("dma")
+	m.l1 = make([]*l1State, cfg.Cores)
+	for i := range m.l1 {
+		m.l1[i] = &l1State{objs: make(map[uint64]*l1Obj)}
+	}
+	if cfg.LineDetail {
+		m.l1Lines = make([]*SetAssocCache, cfg.Cores)
+		for i := range m.l1Lines {
+			m.l1Lines[i] = NewSetAssocCache(L1Config())
+		}
+	}
+	return m
+}
+
+// BankNode returns the NoC node of the L2 bank that homes addr.
+func (m *System) BankNode(addr uint64) noc.NodeID {
+	return m.bankNodes[m.bankFor(addr)]
+}
+
+func (m *System) bankFor(addr uint64) int {
+	// Mix the address so consecutively allocated objects spread out.
+	h := addr >> 6
+	h ^= h >> 13
+	return int(h % uint64(len(m.bankNodes)))
+}
+
+func (m *System) entry(base uint64, size uint32) *dirEntry {
+	e, ok := m.dir[base]
+	if !ok {
+		e = &dirEntry{size: size, owner: -1}
+		m.dir[base] = e
+	}
+	if size > e.size {
+		e.size = size
+	}
+	return e
+}
+
+// resident reports whether core holds the object, updating LRU on touch.
+func (m *System) resident(core int, base uint64) bool {
+	st := m.l1[core]
+	o, ok := st.objs[base]
+	if ok {
+		st.tick++
+		o.used = st.tick
+	}
+	return ok
+}
+
+// install places the object in core's L1, evicting LRU objects as needed.
+// Objects larger than the L1 bypass it.
+func (m *System) install(core int, base uint64, size uint32, dirty bool) {
+	if uint64(size) > m.cfg.L1Bytes {
+		return
+	}
+	st := m.l1[core]
+	if o, ok := st.objs[base]; ok {
+		o.dirty = o.dirty || dirty
+		st.tick++
+		o.used = st.tick
+		return
+	}
+	for st.used+uint64(size) > m.cfg.L1Bytes && len(st.objs) > 0 {
+		m.evictLRU(core)
+	}
+	st.tick++
+	st.objs[base] = &l1Obj{size: size, dirty: dirty, used: st.tick}
+	st.used += uint64(size)
+	e := m.entry(base, size)
+	e.addSharer(int32(core))
+	if dirty {
+		e.owner = int32(core)
+	}
+}
+
+func (m *System) evictLRU(core int) {
+	st := m.l1[core]
+	var victim uint64
+	var best uint64 = ^uint64(0)
+	for b, o := range st.objs {
+		if o.used < best {
+			best = o.used
+			victim = b
+		}
+	}
+	o := st.objs[victim]
+	delete(st.objs, victim)
+	st.used -= uint64(o.size)
+	e := m.entry(victim, o.size)
+	e.dropSharer(int32(core))
+	if o.dirty && e.owner == int32(core) {
+		// Asynchronous dirty eviction writeback to the home bank.
+		e.owner = -1
+		e.inL2 = true
+		m.writebacks++
+		m.bytesMoved += uint64(o.size)
+		m.net.Send(m.coreNodes[core], m.BankNode(victim), o.size, nil)
+	}
+}
+
+// Fetch acquires a read (shared) copy of the object into core's L1 and
+// calls then when the data has arrived.
+func (m *System) Fetch(core int, base uint64, size uint32, then func()) {
+	if then == nil {
+		then = func() {}
+	}
+	m.fetches++
+	e := m.entry(base, size)
+	if m.resident(core, base) {
+		m.l1ObjHits++
+		m.eng.Schedule(m.cfg.L1Latency, then)
+		return
+	}
+	bank := m.BankNode(base)
+	coreNode := m.coreNodes[core]
+	deliver := func() {
+		// L2 access latency, then data burst bank -> core.
+		m.eng.Schedule(m.cfg.L2Latency, func() {
+			n := m.transferBytes(core, base, size)
+			m.bytesMoved += uint64(n)
+			m.net.Send(bank, coreNode, n, func() {
+				m.install(core, base, size, false)
+				then()
+			})
+		})
+	}
+	// Request message to the home bank.
+	m.net.Send(coreNode, bank, m.cfg.CtrlBytes, func() {
+		switch {
+		case e.owner >= 0 && e.owner != int32(core):
+			// Dirty in another L1: recall it first.
+			owner := e.owner
+			e.owner = -1
+			e.inL2 = true
+			m.writebacks++
+			m.net.Send(bank, m.coreNodes[owner], m.cfg.CtrlBytes, func() {
+				if o, ok := m.l1[owner].objs[base]; ok {
+					o.dirty = false
+				}
+				m.net.Send(m.coreNodes[owner], bank, size, deliver)
+			})
+		case e.inL2:
+			deliver()
+		default:
+			// First touch: bring the object from DRAM into L2.
+			done := m.dram.Transfer(base, size)
+			e.inL2 = true
+			m.eng.ScheduleAt(done, deliver)
+		}
+	})
+}
+
+// transferBytes returns how many bytes must actually move for core to have
+// the object. With line detail enabled, resident lines are not re-fetched.
+func (m *System) transferBytes(core int, base uint64, size uint32) uint32 {
+	if m.l1Lines == nil {
+		return size
+	}
+	_, misses, _ := m.l1Lines[core].AccessRange(base, size, false)
+	b := uint32(misses) * uint32(m.l1Lines[core].Config().LineBytes)
+	if b == 0 {
+		b = uint32(m.l1Lines[core].Config().LineBytes)
+	}
+	if b > size {
+		b = size
+	}
+	return b
+}
+
+// AcquireWrite obtains exclusive ownership of the object for core without
+// transferring data (used for pure output operands: write-allocate of a
+// fresh buffer). Sharers elsewhere are invalidated. then runs once all
+// invalidation acks return.
+func (m *System) AcquireWrite(core int, base uint64, size uint32, then func()) {
+	if then == nil {
+		then = func() {}
+	}
+	e := m.entry(base, size)
+	bank := m.BankNode(base)
+	coreNode := m.coreNodes[core]
+	m.net.Send(coreNode, bank, m.cfg.CtrlBytes, func() {
+		m.invalidateOthers(core, base, e, func() {
+			m.install(core, base, size, true)
+			e.owner = int32(core)
+			m.eng.Schedule(m.cfg.L1Latency, then)
+		})
+	})
+}
+
+// FetchExclusive acquires a writable copy including current data (inout
+// operands).
+func (m *System) FetchExclusive(core int, base uint64, size uint32, then func()) {
+	if then == nil {
+		then = func() {}
+	}
+	m.Fetch(core, base, size, func() {
+		e := m.entry(base, size)
+		m.invalidateOthers(core, base, e, func() {
+			if o, ok := m.l1[core].objs[base]; ok {
+				o.dirty = true
+			}
+			e.owner = int32(core)
+			then()
+		})
+	})
+}
+
+// invalidateOthers sends invalidations to every sharer except core and
+// waits for all acks.
+func (m *System) invalidateOthers(core int, base uint64, e *dirEntry, then func()) {
+	var targets []int32
+	for _, s := range e.sharers {
+		if s != int32(core) {
+			targets = append(targets, s)
+		}
+	}
+	if len(targets) == 0 {
+		then()
+		return
+	}
+	bank := m.BankNode(base)
+	pending := len(targets)
+	for _, tgt := range targets {
+		tgt := tgt
+		m.invalidations++
+		m.net.Send(bank, m.coreNodes[tgt], m.cfg.CtrlBytes, func() {
+			st := m.l1[tgt]
+			if o, ok := st.objs[base]; ok {
+				delete(st.objs, base)
+				st.used -= uint64(o.size)
+			}
+			if m.l1Lines != nil {
+				m.invalidateLines(int(tgt), base, e.size)
+			}
+			m.net.Send(m.coreNodes[tgt], bank, m.cfg.CtrlBytes, func() {
+				pending--
+				if pending == 0 {
+					then()
+				}
+			})
+		})
+		e.dropSharer(tgt)
+	}
+	if e.owner >= 0 && e.owner != int32(core) {
+		e.owner = -1
+	}
+}
+
+func (m *System) invalidateLines(core int, base uint64, size uint32) {
+	lc := m.l1Lines[core]
+	lb := uint64(lc.Config().LineBytes)
+	for a := base; a < base+uint64(size); a += lb {
+		lc.Invalidate(a)
+	}
+}
+
+// Writeback flushes core's dirty copy of the object to its home L2 bank
+// (called when a task finishes so consumers can observe its outputs).
+// The core keeps a clean shared copy.
+func (m *System) Writeback(core int, base uint64, size uint32, then func()) {
+	if then == nil {
+		then = func() {}
+	}
+	e := m.entry(base, size)
+	st := m.l1[core]
+	if o, ok := st.objs[base]; ok {
+		o.dirty = false
+	}
+	if e.owner == int32(core) {
+		e.owner = -1
+	}
+	e.inL2 = true
+	m.writebacks++
+	m.bytesMoved += uint64(size)
+	m.net.Send(m.coreNodes[core], m.BankNode(base), size, func() {
+		m.eng.Schedule(m.cfg.L2Latency, then)
+	})
+}
+
+// Copy performs a DMA copy between two objects (rename-buffer copy-back):
+// data moves from src's home bank to dst's home bank, and stale L1 copies
+// of dst are invalidated.
+func (m *System) Copy(src, dst uint64, size uint32, then func()) {
+	m.dmaCopies++
+	m.bytesMoved += uint64(size)
+	e := m.entry(dst, size)
+	m.net.Send(m.dmaNode, m.BankNode(src), m.cfg.CtrlBytes, func() {
+		m.net.Send(m.BankNode(src), m.BankNode(dst), size, func() {
+			m.invalidateOthers(-1, dst, e, func() {
+				e.inL2 = true
+				if then != nil {
+					then()
+				}
+			})
+		})
+	})
+}
+
+// Stats reports cumulative memory-system activity.
+type Stats struct {
+	Fetches       uint64
+	L1ObjHits     uint64
+	Invalidations uint64
+	Writebacks    uint64
+	DMACopies     uint64
+	BytesMoved    uint64
+	DRAMTransfers uint64
+	DRAMBytes     uint64
+}
+
+// Snapshot returns the current statistics.
+func (m *System) Snapshot() Stats {
+	dt, db := m.dram.Stats()
+	return Stats{
+		Fetches:       m.fetches,
+		L1ObjHits:     m.l1ObjHits,
+		Invalidations: m.invalidations,
+		Writebacks:    m.writebacks,
+		DMACopies:     m.dmaCopies,
+		BytesMoved:    m.bytesMoved,
+		DRAMTransfers: dt,
+		DRAMBytes:     db,
+	}
+}
+
+// L1LineCache exposes the optional line-granular model for tests.
+func (m *System) L1LineCache(core int) *SetAssocCache {
+	if m.l1Lines == nil {
+		return nil
+	}
+	return m.l1Lines[core]
+}

@@ -1,0 +1,203 @@
+package noc
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/sim"
+)
+
+// NodeID identifies an endpoint attached to the network.
+type NodeID int
+
+// nodeKind distinguishes where a node lives.
+type nodeKind uint8
+
+const (
+	kindCore   nodeKind = iota // on a local processor ring
+	kindGlobal                 // directly on the global ring (L2, MC, frontend)
+)
+
+type node struct {
+	kind       nodeKind
+	name       string
+	localRing  int // for cores
+	localStop  int // stop on the local ring
+	globalStop int // stop on the global ring (bridge stop for cores)
+}
+
+// Network is the two-level ring fabric: local 8-core processor rings whose
+// bridge stops sit on a global ring shared with L2 banks, memory controllers
+// and the frontend modules.
+type Network struct {
+	eng    *sim.Engine
+	cfg    Config
+	global *Ring
+	locals []*Ring
+	nodes  []node
+
+	coresPerRing int
+	// pending global stops are allocated before Build.
+	built        bool
+	globalOrder  []NodeID // global-resident nodes in attach order
+	bridgeStops  []int    // global stop of each local ring's bridge
+	messages     uint64
+	totalLatency sim.Cycle
+}
+
+// NewNetwork creates a network; attach nodes with AddCore / AddGlobalNode,
+// then call Build before sending.
+func NewNetwork(eng *sim.Engine, coresPerRing int, cfg Config) *Network {
+	if coresPerRing <= 0 {
+		coresPerRing = 8
+	}
+	return &Network{eng: eng, cfg: cfg, coresPerRing: coresPerRing}
+}
+
+// AddCore attaches a core; cores fill local rings in order, 8 per ring.
+func (n *Network) AddCore(name string) NodeID {
+	if n.built {
+		panic("noc: AddCore after Build")
+	}
+	id := NodeID(len(n.nodes))
+	coreCount := 0
+	for _, nd := range n.nodes {
+		if nd.kind == kindCore {
+			coreCount++
+		}
+	}
+	ring := coreCount / n.coresPerRing
+	stop := coreCount % n.coresPerRing
+	n.nodes = append(n.nodes, node{kind: kindCore, name: name, localRing: ring, localStop: stop})
+	return id
+}
+
+// AddGlobalNode attaches a node directly to the global ring (an L2 bank, a
+// memory controller, or a frontend module).
+func (n *Network) AddGlobalNode(name string) NodeID {
+	if n.built {
+		panic("noc: AddGlobalNode after Build")
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, node{kind: kindGlobal, name: name})
+	n.globalOrder = append(n.globalOrder, id)
+	return id
+}
+
+// Build finalizes the topology: local rings get one extra bridge stop each,
+// and the global ring interleaves bridges with the global-resident nodes.
+func (n *Network) Build() {
+	if n.built {
+		return
+	}
+	coreCount := 0
+	for _, nd := range n.nodes {
+		if nd.kind == kindCore {
+			coreCount++
+		}
+	}
+	nRings := (coreCount + n.coresPerRing - 1) / n.coresPerRing
+	n.locals = make([]*Ring, nRings)
+	for i := range n.locals {
+		// +1 stop for the bridge to the global ring.
+		n.locals[i] = NewRing(n.eng, fmt.Sprintf("local%d", i), n.coresPerRing+1, n.cfg)
+	}
+	globalStops := nRings + len(n.globalOrder)
+	if globalStops == 0 {
+		globalStops = 1
+	}
+	n.global = NewRing(n.eng, "global", globalStops, n.cfg)
+	// Assign global stops: bridges first (spread), then global nodes.
+	n.bridgeStops = make([]int, nRings)
+	stop := 0
+	for i := 0; i < nRings; i++ {
+		n.bridgeStops[i] = stop
+		stop++
+	}
+	for _, id := range n.globalOrder {
+		n.nodes[id].globalStop = stop
+		stop++
+	}
+	for i := range n.nodes {
+		if n.nodes[i].kind == kindCore {
+			n.nodes[i].globalStop = n.bridgeStops[n.nodes[i].localRing]
+		}
+	}
+	n.built = true
+}
+
+// bridgeLocalStop is the local-ring stop index used by the bridge.
+func (n *Network) bridgeLocalStop() int { return n.coresPerRing }
+
+// Send moves a message of the given size from one node to another and
+// schedules then at arrival. It returns the arrival cycle for observability.
+func (n *Network) Send(from, to NodeID, bytes uint32, then func()) sim.Cycle {
+	if !n.built {
+		panic("noc: Send before Build")
+	}
+	nf, nt := n.nodes[from], n.nodes[to]
+	n.messages++
+	sent := n.eng.Now()
+	finish := func(arrival sim.Cycle) sim.Cycle {
+		n.totalLatency += arrival - sent
+		return arrival
+	}
+	switch {
+	case nf.kind == kindCore && nt.kind == kindCore && nf.localRing == nt.localRing:
+		return finish(n.locals[nf.localRing].Transfer(nf.localStop, nt.localStop, bytes, then))
+	case nf.kind == kindGlobal && nt.kind == kindGlobal:
+		return finish(n.global.Transfer(nf.globalStop, nt.globalStop, bytes, then))
+	case nf.kind == kindCore && nt.kind == kindGlobal:
+		// Local ring to bridge, then global ring to destination.
+		n.locals[nf.localRing].Transfer(nf.localStop, n.bridgeLocalStop(), bytes, func() {
+			n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
+				finish(n.eng.Now())
+				if then != nil {
+					then()
+				}
+			})
+		})
+		return 0 // exact arrival known only after hop 2; stats via callback
+	case nf.kind == kindGlobal && nt.kind == kindCore:
+		n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
+			n.locals[nt.localRing].Transfer(n.bridgeLocalStop(), nt.localStop, bytes, func() {
+				finish(n.eng.Now())
+				if then != nil {
+					then()
+				}
+			})
+		})
+		return 0
+	default: // core to core across rings: local, global, local
+		n.locals[nf.localRing].Transfer(nf.localStop, n.bridgeLocalStop(), bytes, func() {
+			n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
+				n.locals[nt.localRing].Transfer(n.bridgeLocalStop(), nt.localStop, bytes, func() {
+					finish(n.eng.Now())
+					if then != nil {
+						then()
+					}
+				})
+			})
+		})
+		return 0
+	}
+}
+
+// Messages returns the number of Send calls completed or in flight.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// AvgLatency returns mean end-to-end latency of completed sends, in cycles.
+func (n *Network) AvgLatency() float64 {
+	if n.messages == 0 {
+		return 0
+	}
+	return float64(n.totalLatency) / float64(n.messages)
+}
+
+// GlobalRing exposes the global ring for stats.
+func (n *Network) GlobalRing() *Ring { return n.global }
+
+// LocalRings exposes the local rings for stats.
+func (n *Network) LocalRings() []*Ring { return n.locals }
+
+// NodeName returns the diagnostic name of a node.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id].name }

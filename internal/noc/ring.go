@@ -1,0 +1,190 @@
+// Package noc models the paper's interconnect (Table II): a segmented
+// two-level ring. Each group of 8 cores sits on a local processor ring, and a
+// global ring connects the processor rings, the L2 banks, the memory
+// controllers, and the task superscalar frontend modules. Links move 16
+// bytes/cycle and each segment admits 4 concurrent connections.
+//
+// Transfers are modeled wormhole-style: the head flit takes one cycle per
+// hop, the message occupies each traversed segment for its serialization
+// time (bytes / link width), and per-segment occupancy is limited to the
+// configured number of concurrent connections.
+package noc
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/sim"
+)
+
+// Config are the physical ring parameters.
+type Config struct {
+	HopCycles  sim.Cycle // head latency per hop
+	LinkBytes  uint32    // bytes per cycle per link
+	SegConns   int       // concurrent connections per segment
+	RouterOver sim.Cycle // fixed per-transfer overhead (injection/ejection)
+}
+
+// DefaultConfig returns the Table II interconnect parameters.
+func DefaultConfig() Config {
+	return Config{HopCycles: 1, LinkBytes: 16, SegConns: 4, RouterOver: 2}
+}
+
+// Ring is a bidirectional ring with a fixed number of stops. Messages take
+// the shortest direction. The zero value is not usable; use NewRing.
+type Ring struct {
+	eng   *sim.Engine
+	name  string
+	stops int
+	cfg   Config
+	// segBusy[dir][segment][conn] holds the cycle at which that
+	// connection slot frees. dir 0 = clockwise, 1 = counter-clockwise.
+	segBusy [2][][]sim.Cycle
+
+	// lastArrival enforces point-to-point FIFO delivery per (from,to)
+	// pair: hardware rings deliver same-route messages in order (ordered
+	// virtual channels), and the frontend protocol depends on it.
+	lastArrival map[int]sim.Cycle
+
+	// Stats.
+	transfers uint64
+	bytes     uint64
+	waitTotal sim.Cycle
+}
+
+// NewRing creates a ring with the given number of stops.
+func NewRing(eng *sim.Engine, name string, stops int, cfg Config) *Ring {
+	if stops < 1 {
+		panic(fmt.Sprintf("noc: ring %q needs at least 1 stop", name))
+	}
+	if cfg.SegConns < 1 {
+		cfg.SegConns = 1
+	}
+	if cfg.LinkBytes == 0 {
+		cfg.LinkBytes = 16
+	}
+	r := &Ring{eng: eng, name: name, stops: stops, cfg: cfg, lastArrival: make(map[int]sim.Cycle)}
+	for d := 0; d < 2; d++ {
+		r.segBusy[d] = make([][]sim.Cycle, stops)
+		for s := range r.segBusy[d] {
+			r.segBusy[d][s] = make([]sim.Cycle, cfg.SegConns)
+		}
+	}
+	return r
+}
+
+// Stops returns the number of stops on the ring.
+func (r *Ring) Stops() int { return r.stops }
+
+// route returns the direction (0 cw, 1 ccw) and hop count for the shortest
+// path from a to b.
+func (r *Ring) route(from, to int) (dir, hops int) {
+	cw := (to - from + r.stops) % r.stops
+	ccw := (from - to + r.stops) % r.stops
+	if cw <= ccw {
+		return 0, cw
+	}
+	return 1, ccw
+}
+
+// serCycles returns the serialization time of a message.
+func (r *Ring) serCycles(bytes uint32) sim.Cycle {
+	if bytes == 0 {
+		bytes = 1
+	}
+	c := sim.Cycle((bytes + r.cfg.LinkBytes - 1) / r.cfg.LinkBytes)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Transfer moves bytes from stop `from` to stop `to` and calls then when the
+// tail arrives. It returns the scheduled arrival cycle. Same-stop transfers
+// only pay the router overhead.
+func (r *Ring) Transfer(from, to int, bytes uint32, then func()) sim.Cycle {
+	if from < 0 || from >= r.stops || to < 0 || to >= r.stops {
+		panic(fmt.Sprintf("noc: %s: transfer %d->%d outside [0,%d)", r.name, from, to, r.stops))
+	}
+	now := r.eng.Now()
+	ser := r.serCycles(bytes)
+	dir, hops := r.route(from, to)
+	fifoKey := from*r.stops + to
+	clampFIFO := func(arrival sim.Cycle) sim.Cycle {
+		if last := r.lastArrival[fifoKey]; arrival <= last {
+			arrival = last + 1
+		}
+		r.lastArrival[fifoKey] = arrival
+		return arrival
+	}
+	if hops == 0 {
+		arrival := clampFIFO(now + r.cfg.RouterOver)
+		if then != nil {
+			r.eng.ScheduleAt(arrival, then)
+		}
+		r.transfers++
+		r.bytes += uint64(bytes)
+		return arrival
+	}
+	// Wormhole reservation: the message enters segment i at
+	// start + i*hop and holds it for ser cycles. Find the earliest start
+	// such that every traversed segment has a free connection slot.
+	start := now + r.cfg.RouterOver
+	segs := make([]int, hops)
+	for i := 0; i < hops; i++ {
+		if dir == 0 {
+			segs[i] = (from + i) % r.stops
+		} else {
+			segs[i] = (from - 1 - i + 2*r.stops) % r.stops
+		}
+	}
+	slots := make([]int, hops)
+	for i := 0; i < hops; i++ {
+		enter := start + sim.Cycle(i)*r.cfg.HopCycles
+		slot, free := r.earliestSlot(dir, segs[i])
+		if free > enter {
+			// Push the whole message start later and restart the scan,
+			// since earlier segments must be re-reserved at the new time.
+			start += free - enter
+			i = -1
+			continue
+		}
+		slots[i] = slot
+	}
+	for i, s := range segs {
+		enter := start + sim.Cycle(i)*r.cfg.HopCycles
+		r.segBusy[dir][s][slots[i]] = enter + ser
+	}
+	arrival := clampFIFO(start + sim.Cycle(hops)*r.cfg.HopCycles + ser)
+	r.waitTotal += start - (now + r.cfg.RouterOver)
+	r.transfers++
+	r.bytes += uint64(bytes)
+	if then != nil {
+		r.eng.ScheduleAt(arrival, then)
+	}
+	return arrival
+}
+
+// earliestSlot returns the connection slot on segment s (direction dir) that
+// frees first, and the cycle at which it frees.
+func (r *Ring) earliestSlot(dir, s int) (slot int, free sim.Cycle) {
+	busy := r.segBusy[dir][s]
+	slot = 0
+	free = busy[0]
+	for i := 1; i < len(busy); i++ {
+		if busy[i] < free {
+			free = busy[i]
+			slot = i
+		}
+	}
+	return slot, free
+}
+
+// Transfers returns the number of completed transfer reservations.
+func (r *Ring) Transfers() uint64 { return r.transfers }
+
+// Bytes returns the total payload bytes moved.
+func (r *Ring) Bytes() uint64 { return r.bytes }
+
+// ContentionCycles returns cumulative cycles transfers waited for segment
+// slots.
+func (r *Ring) ContentionCycles() sim.Cycle { return r.waitTotal }

@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleFire measures raw event throughput.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%64), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkServerPipeline measures serial-server message processing.
+func BenchmarkServerPipeline(b *testing.B) {
+	e := NewEngine()
+	srv := NewServer(e, "bench", func(int) Cycle { return 16 })
+	for i := 0; i < b.N; i++ {
+		srv.Submit(i)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+	if srv.Served() != uint64(b.N) {
+		b.Fatalf("served %d of %d", srv.Served(), b.N)
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+// Server models a hardware unit that processes one message at a time.
+//
+// Each pipeline module in the paper (gateway, TRS, ORT, OVT) has a single
+// controller: messages queue at the module and are serviced serially, each
+// charging a processing cost (16 cycles per packet, multiplied by the number
+// of operands involved) plus any eDRAM accesses (22 cycles each). Server
+// captures exactly that: Submit enqueues work, the handler returns the
+// service time, and the server stays busy for that long before dequeuing the
+// next message.
+type Server[M any] struct {
+	eng  *Engine
+	name string
+	h    func(M) Cycle
+
+	busy  bool
+	queue []M
+
+	// Stats.
+	served    uint64
+	busyUntil Cycle
+	busyTotal Cycle
+	maxQueue  int
+}
+
+// NewServer creates a serial server driven by eng. handler processes one
+// message and returns the number of cycles the unit is occupied by it.
+func NewServer[M any](eng *Engine, name string, handler func(M) Cycle) *Server[M] {
+	return &Server[M]{eng: eng, name: name, h: handler}
+}
+
+// Name returns the diagnostic name of the server.
+func (s *Server[M]) Name() string { return s.name }
+
+// Submit enqueues a message for processing. Messages are processed in FIFO
+// order; the handler for a message runs when the unit becomes free.
+func (s *Server[M]) Submit(m M) {
+	s.queue = append(s.queue, m)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	if !s.busy {
+		s.busy = true
+		s.eng.Schedule(0, s.dispatch)
+	}
+}
+
+// SubmitAfter enqueues a message after a transit delay (e.g. NoC latency).
+func (s *Server[M]) SubmitAfter(delay Cycle, m M) {
+	s.eng.Schedule(delay, func() { s.Submit(m) })
+}
+
+func (s *Server[M]) dispatch() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	m := s.queue[0]
+	s.queue = s.queue[1:]
+	cost := s.h(m)
+	s.served++
+	s.busyTotal += cost
+	s.busyUntil = s.eng.Now() + cost
+	s.eng.Schedule(cost, s.dispatch)
+}
+
+// QueueLen returns the number of messages waiting (not including the one in
+// service).
+func (s *Server[M]) QueueLen() int { return len(s.queue) }
+
+// Served returns the number of messages fully processed.
+func (s *Server[M]) Served() uint64 { return s.served }
+
+// BusyCycles returns the cumulative cycles spent in service.
+func (s *Server[M]) BusyCycles() Cycle { return s.busyTotal }
+
+// MaxQueue returns the high-water mark of the input queue.
+func (s *Server[M]) MaxQueue() int { return s.maxQueue }
+
+// Utilization returns busy cycles divided by elapsed cycles so far.
+func (s *Server[M]) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(s.busyTotal) / float64(s.eng.Now())
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median = %v, want 3", s.Median())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("sum = %v, want 15", s.Sum())
+	}
+}
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample must return zeros")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i)) // 1,2,3,4
+	}
+	if got := s.Percentile(50); got != 2.5 {
+		t.Fatalf("P50 = %v, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Fatalf("P100 = %v, want 4", got)
+	}
+}
+
+func TestFracAtMost(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 2, 3, 10} {
+		s.Add(v)
+	}
+	if got := s.FracAtMost(2); got != 0.6 {
+		t.Fatalf("FracAtMost(2) = %v, want 0.6", got)
+	}
+	if got := s.FracAbove(3); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("FracAbove(3) = %v, want 0.2", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(1)  // bucket 0
+	h.Add(2)  // bucket 1
+	h.Add(3)  // bucket 2 (2 < 3 <= 4)
+	h.Add(4)  // bucket 2
+	h.Add(5)  // bucket 3
+	h.Add(16) // bucket 4
+	b := h.Buckets()
+	want := []uint64{1, 1, 2, 1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d, want 6", h.N())
+	}
+	if h.String() == "" {
+		t.Fatal("String() must render non-empty for non-empty histogram")
+	}
+}
+
+func TestCounterTimeAvg(t *testing.T) {
+	var c Counter
+	c.Inc(0, 2)   // value 2 from cycle 0
+	c.Inc(10, 3)  // value 5 from cycle 10
+	c.Inc(20, -5) // value 0 from cycle 20
+	if c.Max() != 5 {
+		t.Fatalf("max = %d, want 5", c.Max())
+	}
+	if c.Cur() != 0 {
+		t.Fatalf("cur = %d, want 0", c.Cur())
+	}
+	// avg over [0,40): (2*10 + 5*10 + 0*20)/40 = 70/40
+	if got := c.TimeAvg(40); math.Abs(got-1.75) > 1e-9 {
+		t.Fatalf("TimeAvg = %v, want 1.75", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Add(rng.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev-1e-9 || v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact median matches a direct computation on sorted values.
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			s.Add(float64(v))
+		}
+		sort.Float64s(vals)
+		var want float64
+		n := len(vals)
+		if n%2 == 1 {
+			want = vals[n/2]
+		} else {
+			want = (vals[n/2-1] + vals[n/2]) / 2
+		}
+		return math.Abs(s.Median()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total always equals number of additions.
+func TestHistogramCountProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		var sum uint64
+		for _, b := range h.Buckets() {
+			sum += b
+		}
+		return sum == uint64(len(vals)) && h.N() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package taskmodel defines the task abstraction shared by the whole
+// repository: tasks are dynamic instances of annotated kernel functions whose
+// operands are memory objects or scalars with explicit directionality
+// (input, output, or inout), exactly as in the StarSs programming model the
+// paper builds on (§III).
+package taskmodel
+
+import "fmt"
+
+// Dir is the directionality of a task operand.
+type Dir uint8
+
+const (
+	// In marks an operand that is only read by the task.
+	In Dir = iota
+	// Out marks an operand that is only written by the task.
+	Out
+	// InOut marks an operand that is both read and written (a true
+	// dependency on the previous version; never renamed).
+	InOut
+	// Scalar marks an immediate value; scalars need no dependency
+	// tracking and are sent directly to the TRS.
+	Scalar
+)
+
+// String returns the StarSs annotation keyword for the directionality.
+func (d Dir) String() string {
+	switch d {
+	case In:
+		return "input"
+	case Out:
+		return "output"
+	case InOut:
+		return "inout"
+	case Scalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// Reads reports whether the operand consumes data produced by earlier tasks.
+func (d Dir) Reads() bool { return d == In || d == InOut }
+
+// Writes reports whether the operand produces a new version of the object.
+func (d Dir) Writes() bool { return d == Out || d == InOut }
+
+// Addr is a simulated memory address. Operand base addresses identify memory
+// objects; the frontend's dependency analysis is limited to consecutive
+// memory objects identified by their base pointer (paper §III.A).
+type Addr uint64
+
+// Operand is the tuple the gateway distributes to the ORTs: operand type
+// (memory object or scalar, folded into Dir), base pointer, object size, and
+// directionality.
+type Operand struct {
+	Base Addr
+	Size uint32 // bytes
+	Dir  Dir
+}
+
+// Task is one dynamic kernel invocation emitted by the task-generating
+// thread. Runtime is the task's execution time in core cycles, as the
+// trace-driven simulator would replay it.
+type Task struct {
+	Kernel   KernelID
+	Operands []Operand
+	Runtime  uint64 // execution cycles on a worker core
+	Seq      uint64 // creation order, assigned by the stream
+}
+
+// NumOperands returns the operand count (the gateway needs it to size the
+// TRS allocation).
+func (t *Task) NumOperands() int { return len(t.Operands) }
+
+// DataBytes returns the total bytes of memory operands (Table I "Data Sz").
+func (t *Task) DataBytes() uint64 {
+	var n uint64
+	for _, op := range t.Operands {
+		if op.Dir != Scalar {
+			n += uint64(op.Size)
+		}
+	}
+	return n
+}
+
+// KernelID identifies a kernel function in the registry.
+type KernelID uint32
+
+// Kernel describes an annotated kernel function.
+type Kernel struct {
+	ID   KernelID
+	Name string
+}
+
+// Registry holds the kernels of a program. The zero value is ready to use.
+type Registry struct {
+	kernels []Kernel
+	byName  map[string]KernelID
+}
+
+// Register adds a kernel by name and returns its ID. Registering the same
+// name twice returns the existing ID.
+func (r *Registry) Register(name string) KernelID {
+	if r.byName == nil {
+		r.byName = make(map[string]KernelID)
+	}
+	if id, ok := r.byName[name]; ok {
+		return id
+	}
+	id := KernelID(len(r.kernels))
+	r.kernels = append(r.kernels, Kernel{ID: id, Name: name})
+	r.byName[name] = id
+	return id
+}
+
+// Name returns the kernel name for id, or a placeholder when unknown.
+func (r *Registry) Name(id KernelID) string {
+	if int(id) < len(r.kernels) {
+		return r.kernels[id].Name
+	}
+	return fmt.Sprintf("kernel#%d", id)
+}
+
+// Len returns the number of registered kernels.
+func (r *Registry) Len() int { return len(r.kernels) }
+
+// Stream produces tasks in sequential program order. Next returns nil when
+// the stream is exhausted. Streams must be deterministic: two iterations of
+// the same stream yield identical tasks.
+type Stream interface {
+	Next() *Task
+}
+
+// SliceStream adapts a pre-built task slice into a Stream, assigning
+// sequence numbers in order.
+type SliceStream struct {
+	tasks []*Task
+	pos   int
+}
+
+// NewSliceStream returns a Stream over tasks. Sequence numbers are
+// (re)assigned from 0 in slice order.
+func NewSliceStream(tasks []*Task) *SliceStream {
+	for i, t := range tasks {
+		t.Seq = uint64(i)
+	}
+	return &SliceStream{tasks: tasks}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() *Task {
+	if s.pos >= len(s.tasks) {
+		return nil
+	}
+	t := s.tasks[s.pos]
+	s.pos++
+	return t
+}
+
+// Len returns the total number of tasks in the underlying slice.
+func (s *SliceStream) Len() int { return len(s.tasks) }
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Collect drains a stream into a slice (for analysis tools that need the
+// whole program, like the reference graph builder).
+func Collect(s Stream) []*Task {
+	var out []*Task
+	for t := s.Next(); t != nil; t = s.Next() {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package taskmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirString(t *testing.T) {
+	cases := map[Dir]string{In: "input", Out: "output", InOut: "inout", Scalar: "scalar"}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if Dir(99).String() != "Dir(99)" {
+		t.Errorf("unknown dir formatting broken: %q", Dir(99).String())
+	}
+}
+
+func TestDirReadsWrites(t *testing.T) {
+	if !In.Reads() || In.Writes() {
+		t.Error("In must read and not write")
+	}
+	if Out.Reads() || !Out.Writes() {
+		t.Error("Out must write and not read")
+	}
+	if !InOut.Reads() || !InOut.Writes() {
+		t.Error("InOut must read and write")
+	}
+	if Scalar.Reads() || Scalar.Writes() {
+		t.Error("Scalar must neither read nor write")
+	}
+}
+
+func TestTaskDataBytes(t *testing.T) {
+	task := &Task{Operands: []Operand{
+		{Base: 0x1000, Size: 1024, Dir: In},
+		{Base: 0x2000, Size: 2048, Dir: Out},
+		{Base: 0, Size: 8, Dir: Scalar},
+	}}
+	if got := task.DataBytes(); got != 3072 {
+		t.Fatalf("DataBytes() = %d, want 3072 (scalars excluded)", got)
+	}
+	if task.NumOperands() != 3 {
+		t.Fatalf("NumOperands() = %d, want 3", task.NumOperands())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	a := r.Register("sgemm")
+	b := r.Register("spotrf")
+	a2 := r.Register("sgemm")
+	if a != a2 {
+		t.Fatalf("re-registering returned %d, want %d", a2, a)
+	}
+	if a == b {
+		t.Fatal("distinct kernels share an ID")
+	}
+	if r.Name(a) != "sgemm" || r.Name(b) != "spotrf" {
+		t.Fatalf("names wrong: %q %q", r.Name(a), r.Name(b))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+	if r.Name(KernelID(42)) == "" {
+		t.Fatal("unknown kernel must format, not be empty")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	tasks := []*Task{{Kernel: 1}, {Kernel: 2}, {Kernel: 3}}
+	s := NewSliceStream(tasks)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	var seqs []uint64
+	for task := s.Next(); task != nil; task = s.Next() {
+		seqs = append(seqs, task.Seq)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i) {
+			t.Fatalf("sequence numbers not in order: %v", seqs)
+		}
+	}
+	if s.Next() != nil {
+		t.Fatal("exhausted stream must keep returning nil")
+	}
+	s.Reset()
+	if got := s.Next(); got == nil || got.Seq != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	tasks := []*Task{{}, {}, {}, {}}
+	got := Collect(NewSliceStream(tasks))
+	if len(got) != 4 {
+		t.Fatalf("Collect returned %d tasks, want 4", len(got))
+	}
+}
+
+// Property: DataBytes equals the sum of non-scalar operand sizes for
+// arbitrary operand lists.
+func TestDataBytesProperty(t *testing.T) {
+	f := func(sizes []uint16, dirs []uint8) bool {
+		n := len(sizes)
+		if len(dirs) < n {
+			n = len(dirs)
+		}
+		task := &Task{}
+		var want uint64
+		for i := 0; i < n; i++ {
+			d := Dir(dirs[i] % 4)
+			task.Operands = append(task.Operands, Operand{Base: Addr(i * 4096), Size: uint32(sizes[i]), Dir: d})
+			if d != Scalar {
+				want += uint64(sizes[i])
+			}
+		}
+		return task.DataBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package trace serializes task streams so workloads can be generated once
+// and replayed across runs and tools — the same role TaskSim's application
+// traces play in the paper. Two formats are provided: a compact binary
+// format for large traces and JSON for inspection.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// magic identifies the binary format ("TSS1").
+var magic = [4]byte{'T', 'S', 'S', '1'}
+
+// Trace is a serializable task stream with its kernel names.
+type Trace struct {
+	Name    string   `json:"name"`
+	Kernels []string `json:"kernels"`
+	Tasks   []Task   `json:"tasks"`
+}
+
+// Task is the serialized form of one task.
+type Task struct {
+	Kernel   uint32    `json:"kernel"`
+	Runtime  uint64    `json:"runtime"`
+	Operands []Operand `json:"operands"`
+}
+
+// Operand is the serialized operand tuple.
+type Operand struct {
+	Base uint64 `json:"base"`
+	Size uint32 `json:"size"`
+	Dir  uint8  `json:"dir"`
+}
+
+// FromTasks converts a task list and registry into a Trace.
+func FromTasks(name string, reg *taskmodel.Registry, tasks []*taskmodel.Task) *Trace {
+	t := &Trace{Name: name}
+	if reg != nil {
+		for i := 0; i < reg.Len(); i++ {
+			t.Kernels = append(t.Kernels, reg.Name(taskmodel.KernelID(i)))
+		}
+	}
+	for _, task := range tasks {
+		st := Task{Kernel: uint32(task.Kernel), Runtime: task.Runtime}
+		for _, op := range task.Operands {
+			st.Operands = append(st.Operands, Operand{
+				Base: uint64(op.Base), Size: op.Size, Dir: uint8(op.Dir),
+			})
+		}
+		t.Tasks = append(t.Tasks, st)
+	}
+	return t
+}
+
+// Materialize rebuilds the in-memory task list and registry.
+func (t *Trace) Materialize() (*taskmodel.Registry, []*taskmodel.Task) {
+	reg := &taskmodel.Registry{}
+	for _, k := range t.Kernels {
+		reg.Register(k)
+	}
+	tasks := make([]*taskmodel.Task, len(t.Tasks))
+	for i, st := range t.Tasks {
+		task := &taskmodel.Task{
+			Kernel:  taskmodel.KernelID(st.Kernel),
+			Runtime: st.Runtime,
+			Seq:     uint64(i),
+		}
+		for _, op := range st.Operands {
+			task.Operands = append(task.Operands, taskmodel.Operand{
+				Base: taskmodel.Addr(op.Base), Size: op.Size, Dir: taskmodel.Dir(op.Dir),
+			})
+		}
+		tasks[i] = task
+	}
+	return reg, tasks
+}
+
+// WriteBinary emits the compact binary encoding.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeStr := func(s string) {
+		var lb [4]byte
+		binary.LittleEndian.PutUint32(lb[:], uint32(len(s)))
+		bw.Write(lb[:])
+		bw.WriteString(s)
+	}
+	writeStr(t.Name)
+	var nb [4]byte
+	binary.LittleEndian.PutUint32(nb[:], uint32(len(t.Kernels)))
+	bw.Write(nb[:])
+	for _, k := range t.Kernels {
+		writeStr(k)
+	}
+	binary.LittleEndian.PutUint32(nb[:], uint32(len(t.Tasks)))
+	bw.Write(nb[:])
+	var buf [8]byte
+	for _, task := range t.Tasks {
+		binary.LittleEndian.PutUint32(buf[:4], task.Kernel)
+		bw.Write(buf[:4])
+		binary.LittleEndian.PutUint64(buf[:], task.Runtime)
+		bw.Write(buf[:])
+		bw.WriteByte(byte(len(task.Operands)))
+		for _, op := range task.Operands {
+			binary.LittleEndian.PutUint64(buf[:], op.Base)
+			bw.Write(buf[:])
+			binary.LittleEndian.PutUint32(buf[:4], op.Size)
+			bw.Write(buf[:4])
+			bw.WriteByte(op.Dir)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary encoding.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: string length %d too large", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	t := &Trace{}
+	var err error
+	if t.Name, err = readStr(); err != nil {
+		return nil, fmt.Errorf("trace: name: %w", err)
+	}
+	nk, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nk; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("trace: kernel %d: %w", i, err)
+		}
+		t.Kernels = append(t.Kernels, k)
+	}
+	nt, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nt; i++ {
+		var task Task
+		if task.Kernel, err = readU32(); err != nil {
+			return nil, fmt.Errorf("trace: task %d: %w", i, err)
+		}
+		if task.Runtime, err = readU64(); err != nil {
+			return nil, err
+		}
+		nops, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		for j := byte(0); j < nops; j++ {
+			var op Operand
+			if op.Base, err = readU64(); err != nil {
+				return nil, err
+			}
+			if op.Size, err = readU32(); err != nil {
+				return nil, err
+			}
+			if op.Dir, err = br.ReadByte(); err != nil {
+				return nil, err
+			}
+			task.Operands = append(task.Operands, op)
+		}
+		t.Tasks = append(t.Tasks, task)
+	}
+	return t, nil
+}
+
+// WriteJSON emits the JSON encoding (indented, for inspection).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses the JSON encoding.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	if err := json.NewDecoder(r).Decode(t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}

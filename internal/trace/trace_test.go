@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tasksuperscalar/internal/taskmodel"
+	"tasksuperscalar/internal/workloads"
+)
+
+func sampleTrace() *Trace {
+	b := workloads.CholeskyN(5, 1)
+	return FromTasks(b.Name, b.Reg, b.Tasks)
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Name != b.Name || len(a.Kernels) != len(b.Kernels) || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for i := range a.Kernels {
+		if a.Kernels[i] != b.Kernels[i] {
+			return false
+		}
+	}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.Kernel != tb.Kernel || ta.Runtime != tb.Runtime || len(ta.Operands) != len(tb.Operands) {
+			return false
+		}
+		for j := range ta.Operands {
+			if ta.Operands[j] != tb.Operands[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("binary round trip lost data")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("JSON round trip lost data")
+	}
+}
+
+func TestMaterializePreservesSemantics(t *testing.T) {
+	b := workloads.CholeskyN(5, 1)
+	tr := FromTasks(b.Name, b.Reg, b.Tasks)
+	reg, tasks := tr.Materialize()
+	if len(tasks) != len(b.Tasks) {
+		t.Fatalf("materialized %d tasks, want %d", len(tasks), len(b.Tasks))
+	}
+	for i := range tasks {
+		if tasks[i].Runtime != b.Tasks[i].Runtime || tasks[i].Kernel != b.Tasks[i].Kernel {
+			t.Fatalf("task %d differs after round trip", i)
+		}
+		if tasks[i].Seq != uint64(i) {
+			t.Fatalf("task %d has Seq %d", i, tasks[i].Seq)
+		}
+		for j := range tasks[i].Operands {
+			if tasks[i].Operands[j] != b.Tasks[i].Operands[j] {
+				t.Fatalf("task %d operand %d differs", i, j)
+			}
+		}
+	}
+	if reg.Name(0) != b.Reg.Name(0) {
+		t.Fatal("kernel names lost")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX????"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedBinaryRejected(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 12, len(full) / 2, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: binary round trip preserves arbitrary generated traces.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := &Trace{Name: "prop", Kernels: []string{"k0", "k1"}}
+		count := int(n%40) + 1
+		for i := 0; i < count; i++ {
+			task := Task{Kernel: uint32(i % 2), Runtime: uint64(seed)&0xFFFF + uint64(i)}
+			for j := 0; j <= i%3; j++ {
+				task.Operands = append(task.Operands, Operand{
+					Base: uint64(i*4096 + j), Size: uint32(64 + j), Dir: uint8(j % 3),
+				})
+			}
+			tr.Tasks = append(tr.Tasks, task)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTasksNilRegistry(t *testing.T) {
+	tasks := []*taskmodel.Task{{Runtime: 10}}
+	tr := FromTasks("x", nil, tasks)
+	if len(tr.Kernels) != 0 || len(tr.Tasks) != 1 {
+		t.Fatal("nil registry handling broken")
+	}
+}

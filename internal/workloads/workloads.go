@@ -1,0 +1,729 @@
+// Package workloads synthesizes the nine benchmark task streams of Table I.
+//
+// The paper drives its simulator with traces of StarSs applications; we do
+// not have those traces, so each generator reproduces the published,
+// behaviour-defining properties of its application instead: the dependency
+// structure (which object each task reads and writes, in creation order),
+// the operand counts, the per-task data sizes, and the runtime distribution
+// (min / median / average of Table I). Frontend behaviour depends only on
+// these, not on the kernels' arithmetic.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tasksuperscalar/internal/stats"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// cyclesPerUs is the 3.2 GHz core clock of Table II.
+const cyclesPerUs = 3200
+
+func us(v float64) uint64 { return uint64(v * cyclesPerUs) }
+
+// Build is a generated workload instance.
+type Build struct {
+	Name  string
+	Reg   *taskmodel.Registry
+	Tasks []*taskmodel.Task
+}
+
+// Stream returns a fresh sequential stream over the build.
+func (b *Build) Stream() *taskmodel.SliceStream {
+	return taskmodel.NewSliceStream(b.Tasks)
+}
+
+// GenFunc generates roughly `budget` tasks deterministically from seed.
+type GenFunc func(budget int, seed int64) *Build
+
+// PaperStats are the published Table I values for comparison.
+type PaperStats struct {
+	DataKB float64
+	MinUs  float64
+	MedUs  float64
+	AvgUs  float64
+	RateNs float64 // decode-rate limit for a 256-way CMP
+}
+
+// Info describes one benchmark.
+type Info struct {
+	Name        string
+	Class       string
+	Description string
+	Paper       PaperStats
+	Gen         GenFunc
+}
+
+// All returns the nine benchmarks in Table I order.
+func All() []Info {
+	return []Info{
+		{"Cholesky", "Math. kernel", "Blocked Cholesky decomposition",
+			PaperStats{47, 16, 33, 31, 63}, Cholesky},
+		{"MatMul", "Math. kernel", "Blocked matrix multiplication",
+			PaperStats{48, 23, 23, 23, 90}, MatMul},
+		{"FFT", "Signal Processing", "2D Fast Fourier Transform",
+			PaperStats{10, 13, 14, 26, 51}, FFT},
+		{"H264", "Multimedia", "Decoding a HD clip",
+			PaperStats{97, 2, 115, 130, 8}, H264},
+		{"KMeans", "Machine Learning", "K-Means clustering",
+			PaperStats{38, 24, 59, 55, 94}, KMeans},
+		{"Knn", "Pattern Recognition", "K-Nearest Neighbors",
+			PaperStats{10, 17, 107, 109, 66}, Knn},
+		{"PBPI", "Bioinformatics", "Bayesian Phylogenetic Inference",
+			PaperStats{32, 28, 29, 29, 108}, PBPI},
+		{"SPECFEM", "Physics (Earth)", "Seismic wave propagation",
+			PaperStats{770, 9, 14, 49, 35}, SPECFEM},
+		{"STAP", "Physics (Radar)", "Space-Time Adaptive Processing",
+			PaperStats{8, 1, 9, 28, 4}, STAP},
+	}
+}
+
+// ByName looks up a benchmark case-insensitively by its Table I name.
+func ByName(name string) (Info, bool) {
+	for _, w := range All() {
+		if equalFold(w.Name, name) {
+			return w, true
+		}
+	}
+	return Info{}, false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Measured summarizes a build the way Table I reports benchmarks.
+type Measured struct {
+	Tasks       int
+	DataKBAvg   float64
+	MinUs       float64
+	MedUs       float64
+	AvgUs       float64
+	RateNs256   float64 // min runtime / 256 processors
+	OpsAvg      float64
+	FracOver6Op float64
+}
+
+// MeasureTableI computes the Table I statistics of a build.
+func MeasureTableI(b *Build) Measured {
+	var rt, data, ops stats.Sample
+	over6 := 0
+	for _, t := range b.Tasks {
+		rt.Add(float64(t.Runtime) / cyclesPerUs)
+		data.Add(float64(t.DataBytes()) / 1024)
+		ops.Add(float64(t.NumOperands()))
+		if t.NumOperands() > 6 {
+			over6++
+		}
+	}
+	m := Measured{
+		Tasks:     len(b.Tasks),
+		DataKBAvg: data.Mean(),
+		MinUs:     rt.Min(),
+		MedUs:     rt.Median(),
+		AvgUs:     rt.Mean(),
+		OpsAvg:    ops.Mean(),
+	}
+	m.RateNs256 = m.MinUs * 1000 / 256
+	if len(b.Tasks) > 0 {
+		m.FracOver6Op = float64(over6) / float64(len(b.Tasks))
+	}
+	return m
+}
+
+// builder carries shared generator state.
+type builder struct {
+	reg      taskmodel.Registry
+	tasks    []*taskmodel.Task
+	rng      *rand.Rand
+	nextAddr taskmodel.Addr
+}
+
+func newBuilder(seed int64) *builder {
+	return &builder{rng: rand.New(rand.NewSource(seed)), nextAddr: 0x1000_0000}
+}
+
+func (b *builder) alloc(size uint32) taskmodel.Addr {
+	a := b.nextAddr
+	sz := taskmodel.Addr(size+0xFFF) &^ taskmodel.Addr(0xFFF)
+	if sz == 0 {
+		sz = 0x1000
+	}
+	b.nextAddr += sz
+	return a
+}
+
+// allocN allocates n equally sized objects.
+func (b *builder) allocN(n int, size uint32) []taskmodel.Addr {
+	out := make([]taskmodel.Addr, n)
+	for i := range out {
+		out[i] = b.alloc(size)
+	}
+	return out
+}
+
+// jitter returns v with a deterministic +-5% perturbation.
+func (b *builder) jitter(v uint64) uint64 {
+	f := 0.95 + 0.1*b.rng.Float64()
+	return uint64(float64(v) * f)
+}
+
+func (b *builder) spawn(k taskmodel.KernelID, runtime uint64, ops ...taskmodel.Operand) {
+	b.tasks = append(b.tasks, &taskmodel.Task{
+		Kernel:   k,
+		Operands: ops,
+		Runtime:  runtime,
+		Seq:      uint64(len(b.tasks)),
+	})
+}
+
+func in(a taskmodel.Addr, size uint32) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: size, Dir: taskmodel.In}
+}
+func out(a taskmodel.Addr, size uint32) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: size, Dir: taskmodel.Out}
+}
+func inout(a taskmodel.Addr, size uint32) taskmodel.Operand {
+	return taskmodel.Operand{Base: a, Size: size, Dir: taskmodel.InOut}
+}
+func scalar() taskmodel.Operand {
+	return taskmodel.Operand{Size: 8, Dir: taskmodel.Scalar}
+}
+
+func (b *builder) build(name string) *Build {
+	return &Build{Name: name, Reg: &b.reg, Tasks: b.tasks}
+}
+
+// choleskyTaskCount returns the task count of an NxN blocked Cholesky.
+func choleskyTaskCount(n int) int {
+	count := 0
+	for j := 0; j < n; j++ {
+		count += j * (n - 1 - j) // sgemm
+		count += j               // ssyrk
+		count++                  // spotrf
+		count += n - 1 - j       // strsm
+	}
+	return count
+}
+
+// CholeskyN generates a blocked Cholesky decomposition of an NxN matrix of
+// 16 KB blocks, reproducing the kernel structure of Figure 4 (and, for N=5,
+// the 35-task graph of Figure 1).
+func CholeskyN(n int, seed int64) *Build {
+	b := newBuilder(seed)
+	sgemm := b.reg.Register("sgemm")
+	ssyrk := b.reg.Register("ssyrk")
+	spotrf := b.reg.Register("spotrf")
+	strsm := b.reg.Register("strsm")
+
+	const blockBytes = 16 << 10 // 64x64 floats
+	blocks := make([][]taskmodel.Addr, n)
+	for i := range blocks {
+		blocks[i] = b.allocN(n, blockBytes)
+	}
+	A := func(i, j int) taskmodel.Addr { return blocks[i][j] }
+
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			for i := j + 1; i < n; i++ {
+				b.spawn(sgemm, b.jitter(us(33)),
+					in(A(i, k), blockBytes), in(A(j, k), blockBytes),
+					inout(A(i, j), blockBytes))
+			}
+		}
+		for i := 0; i < j; i++ {
+			b.spawn(ssyrk, b.jitter(us(30)),
+				in(A(j, i), blockBytes), inout(A(j, j), blockBytes))
+		}
+		b.spawn(spotrf, b.jitter(us(16)), inout(A(j, j), blockBytes))
+		for i := j + 1; i < n; i++ {
+			b.spawn(strsm, b.jitter(us(26)),
+				in(A(j, j), blockBytes), inout(A(i, j), blockBytes))
+		}
+	}
+	return b.build("Cholesky")
+}
+
+// Cholesky sizes the matrix to approximately meet the task budget.
+func Cholesky(budget int, seed int64) *Build {
+	n := 4
+	for choleskyTaskCount(n+1) <= budget && n < 96 {
+		n++
+	}
+	return CholeskyN(n, seed)
+}
+
+// MatMul generates a blocked matrix multiplication C += A*B with NxN blocks
+// of 16 KB: N^3 sgemm tasks of 23 us each; each C block carries an N-long
+// true-dependency chain while A and B blocks are read-shared.
+func MatMul(budget int, seed int64) *Build {
+	n := 2
+	for (n+1)*(n+1)*(n+1) <= budget && n < 40 {
+		n++
+	}
+	b := newBuilder(seed)
+	sgemm := b.reg.Register("sgemm")
+	const blockBytes = 16 << 10
+	alloc2D := func() [][]taskmodel.Addr {
+		m := make([][]taskmodel.Addr, n)
+		for i := range m {
+			m[i] = b.allocN(n, blockBytes)
+		}
+		return m
+	}
+	A, B, C := alloc2D(), alloc2D(), alloc2D()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				b.spawn(sgemm, us(23),
+					in(A[i][k], blockBytes), in(B[k][j], blockBytes),
+					inout(C[i][j], blockBytes))
+			}
+		}
+	}
+	return b.build("MatMul")
+}
+
+// FFT generates a 2D FFT: row FFTs, a blocked transpose, column FFTs, a
+// second transpose, and final row FFTs — phases coupled through transpose
+// blocks. Row/column transforms run ~13-14 us on 10 KB rows; transpose
+// tasks touch several rows and run longer, matching Table I's skewed
+// average (min 13, med 14, avg 26).
+func FFT(budget int, seed int64) *Build {
+	// tasks per n rows: 3 FFT phases (n each) + 2 transpose phases
+	// (n/4 each): 3.5n.
+	n := 8
+	for float64(n+4)*3.5 <= float64(budget) && n < 4096 {
+		n += 4
+	}
+	b := newBuilder(seed)
+	fftRow := b.reg.Register("fft_row")
+	fftCol := b.reg.Register("fft_col")
+	transp := b.reg.Register("transpose")
+
+	const rowBytes = 10 << 10
+	rows := b.allocN(n, rowBytes)
+	cols := b.allocN(n, rowBytes)
+	rows2 := b.allocN(n, rowBytes)
+
+	// Phase 1: row FFTs (in place).
+	for r := 0; r < n; r++ {
+		b.spawn(fftRow, b.jitter(us(14)), inout(rows[r], rowBytes))
+	}
+	// Phase 2: blocked transpose, 4 rows per task (tile-sized transfers).
+	group := 4
+	const tileBytes = rowBytes / 4
+	for g := 0; g < n; g += group {
+		ops := []taskmodel.Operand{}
+		for r := g; r < g+group && r < n; r++ {
+			ops = append(ops, in(rows[r], tileBytes))
+		}
+		for c := g; c < g+group && c < n; c++ {
+			ops = append(ops, out(cols[c], tileBytes))
+		}
+		b.spawn(transp, b.jitter(us(95)), ops...)
+	}
+	// Phase 3: column FFTs.
+	for c := 0; c < n; c++ {
+		b.spawn(fftCol, b.jitter(us(13)), inout(cols[c], rowBytes))
+	}
+	// Phase 4: transpose back.
+	for g := 0; g < n; g += group {
+		ops := []taskmodel.Operand{}
+		for c := g; c < g+group && c < n; c++ {
+			ops = append(ops, in(cols[c], tileBytes))
+		}
+		for r := g; r < g+group && r < n; r++ {
+			ops = append(ops, out(rows2[r], tileBytes))
+		}
+		b.spawn(transp, b.jitter(us(95)), ops...)
+	}
+	// Phase 5: final row pass (twiddle/scale).
+	for r := 0; r < n; r++ {
+		b.spawn(fftRow, b.jitter(us(14)), inout(rows2[r], rowBytes))
+	}
+	return b.build("FFT")
+}
+
+// H264 generates the macroblock wavefront of an H.264 decoder: each
+// macroblock task depends on its west, north-west, north and north-east
+// neighbours within the frame, on the co-located macroblock of a reference
+// frame (usually the previous frame, occasionally up to 60 frames back:
+// the long RaW chains of §VI.C), and on per-frame parameters. Interior
+// macroblocks carry 7 operands, matching the ">6 operands for ~94% of
+// tasks" property. Runtimes are bimodal: a few skipped blocks at 2-9 us,
+// most at ~115 us, some at ~240 us (min 2, med 115, avg 130).
+func H264(budget int, seed int64) *Build {
+	// Frame geometry: aim for the paper's >2000 tasks per frame when the
+	// budget allows, shrinking for small runs.
+	w, h := 60, 34
+	for w*h*3 > budget && w > 6 {
+		w -= 6
+		h -= 3
+		if h < 4 {
+			h = 4
+		}
+	}
+	frames := budget / (w * h)
+	if frames < 2 {
+		frames = 2
+	}
+	b := newBuilder(seed)
+	mbKern := b.reg.Register("decode_mb")
+
+	const mbBytes = 16 << 10
+	const paramBytes = 4 << 10
+	intraTables := b.alloc(paramBytes)
+	// Keep the full history of frame MB objects for reference frames.
+	mb := make([][][]taskmodel.Addr, frames)
+	params := make([]taskmodel.Addr, frames)
+	for f := range mb {
+		params[f] = b.alloc(paramBytes)
+		mb[f] = make([][]taskmodel.Addr, h)
+		for y := range mb[f] {
+			mb[f][y] = b.allocN(w, mbBytes)
+		}
+	}
+
+	runtime := func() uint64 {
+		r := b.rng.Float64()
+		switch {
+		case r < 0.13: // skipped blocks
+			return us(2 + 7*b.rng.Float64())
+		case r < 0.75:
+			return b.jitter(us(115))
+		default:
+			return b.jitter(us(240))
+		}
+	}
+
+	for f := 0; f < frames; f++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				ops := []taskmodel.Operand{in(params[f], paramBytes)}
+				if x > 0 {
+					ops = append(ops, in(mb[f][y][x-1], mbBytes)) // W
+				}
+				if y > 0 {
+					if x > 0 {
+						ops = append(ops, in(mb[f][y-1][x-1], mbBytes)) // NW
+					}
+					ops = append(ops, in(mb[f][y-1][x], mbBytes)) // N
+					if x < w-1 {
+						ops = append(ops, in(mb[f][y-1][x+1], mbBytes)) // NE
+					}
+				}
+				if f > 0 {
+					ref := 1
+					if b.rng.Float64() < 0.02 {
+						ref = 1 + b.rng.Intn(min(60, f))
+					}
+					ops = append(ops, in(mb[f-ref][y][x], mbBytes))
+				} else {
+					ops = append(ops, in(intraTables, paramBytes))
+				}
+				ops = append(ops, inout(mb[f][y][x], mbBytes))
+				b.spawn(mbKern, runtime(), ops...)
+			}
+		}
+	}
+	return b.build("H264")
+}
+
+// KMeans generates iterative K-Means clustering: per iteration, 512
+// independent assignment tasks read the centroids and their point partition
+// and write partial accumulators; a three-level tree of reduction tasks
+// folds the accumulators back into the centroids, forming the next
+// iteration's barrier.
+func KMeans(budget int, seed int64) *Build {
+	parts := 512
+	perIter := parts + parts/16 + 4 + 1
+	iters := budget / perIter
+	if iters < 2 {
+		iters = 2
+		parts = budget / 3
+		if parts < 16 {
+			parts = 16
+		}
+		perIter = parts + parts/16 + 4 + 1
+	}
+	b := newBuilder(seed)
+	assign := b.reg.Register("assign")
+	reduce := b.reg.Register("reduce")
+
+	const pointsBytes = 32 << 10
+	const centBytes = 4 << 10
+	const accBytes = 2 << 10
+	points := b.allocN(parts, pointsBytes)
+	acc := b.allocN(parts, accBytes)
+	centroids := b.alloc(centBytes)
+
+	for it := 0; it < iters; it++ {
+		for p := 0; p < parts; p++ {
+			b.spawn(assign, b.jitter(us(59)),
+				in(points[p], pointsBytes), in(centroids, centBytes),
+				out(acc[p], accBytes))
+		}
+		// Level 1: fold 16 accumulators at a time.
+		l1 := b.allocN((parts+15)/16, accBytes)
+		for g := 0; g*16 < parts; g++ {
+			ops := []taskmodel.Operand{}
+			for p := g * 16; p < (g+1)*16 && p < parts; p++ {
+				ops = append(ops, in(acc[p], accBytes))
+			}
+			ops = append(ops, out(l1[g], accBytes))
+			b.spawn(reduce, b.jitter(us(24)), ops...)
+		}
+		// Level 2: fold level-1 partials into at most 4.
+		groups := (len(l1) + 7) / 8
+		l2 := b.allocN(groups, accBytes)
+		for g := 0; g < groups; g++ {
+			ops := []taskmodel.Operand{}
+			for p := g * 8; p < (g+1)*8 && p < len(l1); p++ {
+				ops = append(ops, in(l1[p], accBytes))
+			}
+			ops = append(ops, out(l2[g], accBytes))
+			b.spawn(reduce, b.jitter(us(24)), ops...)
+		}
+		// Final: update the centroids (the iteration barrier).
+		ops := []taskmodel.Operand{}
+		for _, p := range l2 {
+			ops = append(ops, in(p, accBytes))
+		}
+		ops = append(ops, inout(centroids, centBytes))
+		b.spawn(reduce, b.jitter(us(24)), ops...)
+	}
+	return b.build("KMeans")
+}
+
+// Knn generates K-Nearest-Neighbors classification: a few setup tasks
+// (~17 us) partition the training set, then fully independent classify
+// tasks (~105-115 us) dominate — the long-task benchmark for which even
+// the software runtime scales (§VI.C).
+func Knn(budget int, seed int64) *Build {
+	b := newBuilder(seed)
+	setup := b.reg.Register("partition")
+	classify := b.reg.Register("classify")
+
+	const chunkBytes = 6 << 10
+	const queryBytes = 4 << 10
+	nSetup := budget / 50
+	if nSetup < 1 {
+		nSetup = 1
+	}
+	train := b.allocN(nSetup, chunkBytes)
+	raw := b.alloc(64 << 10)
+	for i := 0; i < nSetup; i++ {
+		b.spawn(setup, b.jitter(us(18)), in(raw, 64<<10), out(train[i], chunkBytes))
+	}
+	nClassify := budget - nSetup
+	for i := 0; i < nClassify; i++ {
+		q := b.alloc(queryBytes)
+		res := b.alloc(1 << 10)
+		b.spawn(classify, b.jitter(us(110)),
+			in(train[i%nSetup], chunkBytes), in(q, queryBytes), out(res, 1<<10))
+	}
+	return b.build("Knn")
+}
+
+// PBPI generates Bayesian phylogenetic inference: each MCMC generation
+// evaluates the tree likelihood over 512 independent site blocks, reduces
+// the per-block partials through a two-level tree, and updates the chain
+// state at the root — wide phases chained through the sampler state.
+// Runtimes are uniform (~29 us, Table I).
+func PBPI(budget int, seed int64) *Build {
+	blocks := 512
+	perGen := blocks + blocks/16 + 2 + 1
+	gens := budget / perGen
+	if gens < 2 {
+		gens = 2
+		blocks = budget / 3
+		if blocks < 16 {
+			blocks = 16
+		}
+		perGen = blocks + blocks/16 + 2 + 1
+	}
+	b := newBuilder(seed)
+	like := b.reg.Register("site_likelihood")
+	red := b.reg.Register("reduce_likelihood")
+	root := b.reg.Register("root_update")
+
+	const vecBytes = 24 << 10
+	const partBytes = 4 << 10
+	const stateBytes = 4 << 10
+	state := b.alloc(stateBytes)
+	sites := b.allocN(blocks, vecBytes)
+
+	for g := 0; g < gens; g++ {
+		partials := b.allocN(blocks, partBytes)
+		for i := 0; i < blocks; i++ {
+			b.spawn(like, b.jitter(us(29)),
+				in(sites[i], vecBytes), in(state, stateBytes), out(partials[i], partBytes))
+		}
+		l1 := b.allocN((blocks+15)/16, partBytes)
+		for i := 0; i*16 < blocks; i++ {
+			ops := []taskmodel.Operand{}
+			for p := i * 16; p < (i+1)*16 && p < blocks; p++ {
+				ops = append(ops, in(partials[p], partBytes))
+			}
+			ops = append(ops, out(l1[i], partBytes))
+			b.spawn(red, b.jitter(us(29)), ops...)
+		}
+		groups := (len(l1) + 15) / 16
+		l2 := b.allocN(groups, partBytes)
+		for i := 0; i < groups; i++ {
+			ops := []taskmodel.Operand{}
+			for p := i * 16; p < (i+1)*16 && p < len(l1); p++ {
+				ops = append(ops, in(l1[p], partBytes))
+			}
+			ops = append(ops, out(l2[i], partBytes))
+			b.spawn(red, b.jitter(us(29)), ops...)
+		}
+		ops := []taskmodel.Operand{}
+		for _, p := range l2 {
+			ops = append(ops, in(p, partBytes))
+		}
+		ops = append(ops, inout(state, stateBytes))
+		b.spawn(root, b.jitter(us(28)), ops...)
+	}
+	return b.build("PBPI")
+}
+
+// SPECFEM generates seismic wave propagation: timesteps over a 2D grid of
+// large domain partitions (770 KB fields). Each step runs one heavy update
+// task per partition (~200 us) plus small boundary-exchange tasks (~9-16
+// us) coupling stencil neighbours.
+func SPECFEM(budget int, seed int64) *Build {
+	grid := 16                                            // 16x16 partitions
+	perStep := func(g int) int { return g*g + 2*g*(g-1) } // updates + halo tasks
+	for grid > 4 && perStep(grid)*2 > budget {
+		grid /= 2
+	}
+	steps := budget / perStep(grid)
+	if steps < 2 {
+		steps = 2
+	}
+	b := newBuilder(seed)
+	update := b.reg.Register("element_update")
+	halo := b.reg.Register("halo_exchange")
+
+	const fieldBytes = 760 << 10
+	const haloBytes = 8 << 10
+	field := make([][]taskmodel.Addr, grid)
+	haloN := make([][]taskmodel.Addr, grid)
+	haloW := make([][]taskmodel.Addr, grid)
+	for i := range field {
+		field[i] = b.allocN(grid, fieldBytes)
+		haloN[i] = b.allocN(grid, haloBytes)
+		haloW[i] = b.allocN(grid, haloBytes)
+	}
+
+	for s := 0; s < steps; s++ {
+		// Halo extraction: small tasks reading fields, writing halos.
+		for i := 0; i < grid; i++ {
+			for j := 0; j < grid; j++ {
+				// Boundary extraction reads strided planes across the
+				// whole field object (hence SPECFEM's 770 KB/task).
+				if i > 0 {
+					b.spawn(halo, b.jitter(us(12)),
+						in(field[i][j], fieldBytes), out(haloN[i][j], haloBytes))
+				}
+				if j > 0 {
+					b.spawn(halo, b.jitter(us(10)),
+						in(field[i][j], fieldBytes), out(haloW[i][j], haloBytes))
+				}
+			}
+		}
+		// Element update: heavy stencil step per partition.
+		for i := 0; i < grid; i++ {
+			for j := 0; j < grid; j++ {
+				ops := []taskmodel.Operand{inout(field[i][j], fieldBytes)}
+				if i > 0 {
+					ops = append(ops, in(haloN[i][j], haloBytes))
+				}
+				if i < grid-1 {
+					ops = append(ops, in(haloN[i+1][j], haloBytes))
+				}
+				if j > 0 {
+					ops = append(ops, in(haloW[i][j], haloBytes))
+				}
+				if j < grid-1 {
+					ops = append(ops, in(haloW[i][j+1], haloBytes))
+				}
+				b.spawn(update, b.jitter(us(115)), ops...)
+			}
+		}
+	}
+	return b.build("SPECFEM")
+}
+
+// STAP generates Space-Time Adaptive Processing: independent coherent
+// processing intervals (CPIs), each a three-stage pipeline of very short
+// tasks — Doppler filtering (1-3 us), covariance estimation (~9 us), and
+// weight application (~100 us). The abundant sub-10 us tasks make STAP the
+// decode-rate stress test (8 ns/task target in Table I).
+func STAP(budget int, seed int64) *Build {
+	const chans = 8
+	perCPI := chans + chans + chans/2
+	cpis := budget / perCPI
+	if cpis < 2 {
+		cpis = 2
+	}
+	b := newBuilder(seed)
+	doppler := b.reg.Register("doppler_fir")
+	covar := b.reg.Register("covariance")
+	weights := b.reg.Register("apply_weights")
+
+	const sliceBytes = 3 << 10
+	const covBytes = 4 << 10
+	for c := 0; c < cpis; c++ {
+		cube := b.alloc(64 << 10)
+		filtered := b.allocN(chans, sliceBytes)
+		for ch := 0; ch < chans; ch++ {
+			b.spawn(doppler, us(1+2*b.rng.Float64()),
+				in(cube, sliceBytes), out(filtered[ch], sliceBytes))
+		}
+		covs := b.allocN(chans, covBytes)
+		for ch := 0; ch < chans; ch++ {
+			b.spawn(covar, b.jitter(us(9)),
+				in(filtered[ch], sliceBytes), out(covs[ch], covBytes))
+		}
+		for g := 0; g < chans/2; g++ {
+			res := b.alloc(4 << 10)
+			b.spawn(weights, b.jitter(us(120)),
+				in(covs[g*2], covBytes), in(covs[g*2+1], covBytes),
+				in(filtered[g*2], sliceBytes), out(res, 4<<10))
+		}
+	}
+	return b.build("STAP")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Describe formats a one-line summary of a build.
+func Describe(b *Build) string {
+	m := MeasureTableI(b)
+	return fmt.Sprintf("%s: %d tasks, %.0f KB avg, runtime %.0f/%.0f/%.0f us (min/med/avg)",
+		b.Name, m.Tasks, m.DataKBAvg, m.MinUs, m.MedUs, m.AvgUs)
+}

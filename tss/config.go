@@ -1,0 +1,112 @@
+package tss
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/backend"
+	"tasksuperscalar/internal/core"
+	"tasksuperscalar/internal/mem"
+	"tasksuperscalar/internal/softrt"
+)
+
+// RuntimeKind selects how tasks are decoded and scheduled.
+type RuntimeKind int
+
+const (
+	// HardwarePipeline runs the task superscalar frontend (the paper's
+	// contribution).
+	HardwarePipeline RuntimeKind = iota
+	// SoftwareRuntime runs the StarSs software-decoder baseline.
+	SoftwareRuntime
+	// Sequential executes tasks back-to-back on one core (the speedup
+	// denominator).
+	Sequential
+)
+
+// String names the runtime kind.
+func (k RuntimeKind) String() string {
+	switch k {
+	case HardwarePipeline:
+		return "task-superscalar"
+	case SoftwareRuntime:
+		return "software-runtime"
+	case Sequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("RuntimeKind(%d)", int(k))
+}
+
+// MaxOperands is the pipeline's per-task operand limit (19: one main TRS
+// block plus three indirect blocks).
+const MaxOperands = core.MaxOperands
+
+// Config describes the simulated machine.
+type Config struct {
+	// Runtime selects the decode/schedule engine.
+	Runtime RuntimeKind
+
+	// Cores is the number of worker processors (Table II: 32-256).
+	Cores int
+	// CoresPerRing is the local-ring arity (Table II: 8).
+	CoresPerRing int
+
+	// Frontend sizes the hardware pipeline (ignored for other runtimes).
+	Frontend core.Config
+	// Software configures the software-runtime baseline.
+	Software softrt.Config
+
+	// Backend sizes the Carbon-like queuing system. Cores is overridden
+	// by the Cores field above.
+	Backend backend.Config
+
+	// Memory enables the coherent memory hierarchy (L1/L2/directory/
+	// DRAM); without it operand staging is free and only decode and
+	// dependency timing are modeled.
+	Memory bool
+	// LineDetailMemory additionally drives line-granular L1 models.
+	LineDetailMemory bool
+}
+
+// DefaultConfig returns the paper's operating point: 256 cores, 8 TRS,
+// 2 ORT/OVT (7 MB eDRAM), memory system enabled.
+func DefaultConfig() Config {
+	return Config{
+		Runtime:      HardwarePipeline,
+		Cores:        256,
+		CoresPerRing: 8,
+		Frontend:     core.DefaultConfig(),
+		Software:     softrt.DefaultConfig(),
+		Backend:      backend.DefaultConfig(256),
+		Memory:       true,
+	}
+}
+
+// WithCores returns the config resized to n worker cores.
+func (c Config) WithCores(n int) Config {
+	c.Cores = n
+	c.Backend.Cores = n
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("tss: need at least one core, got %d", c.Cores)
+	}
+	if c.CoresPerRing < 1 {
+		return fmt.Errorf("tss: cores per ring must be positive, got %d", c.CoresPerRing)
+	}
+	if c.Runtime == HardwarePipeline {
+		if c.Frontend.NumTRS < 1 || c.Frontend.NumORT < 1 {
+			return fmt.Errorf("tss: hardware pipeline needs >=1 TRS and >=1 ORT")
+		}
+	}
+	return nil
+}
+
+// memSystemConfig derives the memory-system configuration.
+func (c Config) memSystemConfig() mem.SystemConfig {
+	mc := mem.DefaultSystemConfig(c.Cores)
+	mc.LineDetail = c.LineDetailMemory
+	return mc
+}

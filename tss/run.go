@@ -1,0 +1,231 @@
+package tss
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/backend"
+	"tasksuperscalar/internal/core"
+	"tasksuperscalar/internal/mem"
+	"tasksuperscalar/internal/noc"
+	"tasksuperscalar/internal/sim"
+	"tasksuperscalar/internal/softrt"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// Result reports one simulation run.
+type Result struct {
+	Kind  RuntimeKind
+	Cores int
+	Tasks uint64
+
+	// Cycles is the makespan in core cycles.
+	Cycles uint64
+	// TotalWorkCycles is the sum of task runtimes (the sequential lower
+	// bound without overheads).
+	TotalWorkCycles uint64
+
+	// DecodeRateCycles is the average time between successive additions
+	// to the task graph (hardware and software runtimes).
+	DecodeRateCycles float64
+
+	// Utilization is the time-averaged fraction of busy cores.
+	Utilization float64
+
+	// WindowMax is the peak number of in-flight decoded tasks.
+	WindowMax int64
+
+	// Frontend carries hardware-pipeline statistics (hardware runs only).
+	Frontend core.FrontendStats
+	// Software carries software-runtime statistics (software runs only).
+	Software softrt.Stats
+	// Mem carries memory-system statistics when Memory is enabled.
+	Mem mem.Stats
+
+	// Start and Finish are per-task observed times indexed by sequence
+	// number (for validation).
+	Start, Finish []uint64
+}
+
+// DecodeRateNs converts the decode rate to nanoseconds.
+func (r *Result) DecodeRateNs() float64 { return CyclesToNs(r.DecodeRateCycles) }
+
+// SpeedupOver returns this run's speedup relative to a baseline run.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Run executes the program on the configured machine.
+func Run(p *Program, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return RunTasks(p.tasks, cfg)
+}
+
+// RunTasks executes a raw task list (used by the benchmark harness, whose
+// workload generators produce taskmodel streams directly).
+func RunTasks(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Runtime {
+	case Sequential:
+		return runSequential(tasks, cfg)
+	case HardwarePipeline:
+		return runHardware(tasks, cfg)
+	case SoftwareRuntime:
+		return runSoftware(tasks, cfg)
+	default:
+		return nil, fmt.Errorf("tss: unknown runtime kind %d", cfg.Runtime)
+	}
+}
+
+// machine bundles the shared substrate of a parallel run.
+type machine struct {
+	eng       *sim.Engine
+	net       *noc.Network
+	coreNodes []noc.NodeID
+	genNode   noc.NodeID
+	memory    *mem.System
+	back      *backend.Backend
+}
+
+// buildMachine assembles engine, network, cores, memory and backend.
+func buildMachine(cfg Config) *machine {
+	eng := sim.NewEngine()
+	net := noc.NewNetwork(eng, cfg.CoresPerRing, noc.DefaultConfig())
+	m := &machine{eng: eng, net: net}
+	for i := 0; i < cfg.Cores; i++ {
+		m.coreNodes = append(m.coreNodes, net.AddCore(fmt.Sprintf("core%d", i)))
+	}
+	// The task-generating thread runs on its own core.
+	m.genNode = net.AddCore("generator")
+	if cfg.Memory {
+		m.memory = mem.NewSystem(eng, net, m.coreNodes, cfg.memSystemConfig())
+	}
+	bcfg := cfg.Backend
+	bcfg.Cores = cfg.Cores
+	m.back = backend.New(eng, net, m.coreNodes, bcfg, m.memory)
+	return m
+}
+
+func (m *machine) finish(tasks []*taskmodel.Task, res *Result) {
+	res.Cycles = uint64(m.eng.Now())
+	res.Tasks = m.back.Executed()
+	for _, t := range tasks {
+		res.TotalWorkCycles += t.Runtime
+	}
+	res.Utilization = m.back.Utilization(m.eng.Now()) / float64(res.Cores)
+	res.Start, res.Finish = m.back.Schedule(len(tasks))
+	if m.memory != nil {
+		res.Mem = m.memory.Snapshot()
+	}
+}
+
+func runHardware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+	m := buildMachine(cfg)
+	var copyEng core.CopyEngine
+	if m.memory != nil {
+		copyEng = m.memory
+	} else {
+		copyEng = core.NewNullCopyEngine(m.eng)
+	}
+	fe := core.New(m.eng, m.net, cfg.Frontend, copyEng)
+	fe.SetDispatcher(m.back)
+	m.back.SetFinishHandler(fe)
+	m.net.Build()
+
+	gen := core.NewGenerator(fe, m.genNode, taskmodel.NewSliceStream(tasks))
+	gen.Start()
+	m.eng.Run()
+
+	res := &Result{Kind: HardwarePipeline, Cores: cfg.Cores}
+	m.finish(tasks, res)
+	res.Frontend = fe.Stats(m.eng.Now())
+	res.DecodeRateCycles = res.Frontend.DecodeRate
+	res.WindowMax = res.Frontend.WindowMax
+	if int(m.back.Executed()) != len(tasks) {
+		return res, fmt.Errorf("tss: hardware run executed %d of %d tasks (pipeline deadlock?)",
+			m.back.Executed(), len(tasks))
+	}
+	return res, nil
+}
+
+func runSoftware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+	m := buildMachine(cfg)
+	rt := softrt.New(m.eng, cfg.Software, taskmodel.NewSliceStream(tasks), m.back, m.genNode)
+	m.back.SetFinishHandler(rt)
+	m.net.Build()
+
+	rt.Start()
+	m.eng.Run()
+
+	res := &Result{Kind: SoftwareRuntime, Cores: cfg.Cores}
+	m.finish(tasks, res)
+	res.Software = rt.Snapshot()
+	res.DecodeRateCycles = res.Software.DecodeRate
+	res.WindowMax = res.Software.WindowMax
+	if int(m.back.Executed()) != len(tasks) {
+		return res, fmt.Errorf("tss: software run executed %d of %d tasks",
+			m.back.Executed(), len(tasks))
+	}
+	return res, nil
+}
+
+// seqFinisher drives the next task when the previous one completes.
+type seqFinisher struct {
+	feed func()
+}
+
+func (s *seqFinisher) TaskFinished(from noc.NodeID, id core.TaskID) { s.feed() }
+
+func runSequential(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+	cfg = cfg.WithCores(1)
+	m := buildMachine(cfg)
+	m.net.Build()
+
+	idx := 0
+	var feed func()
+	feed = func() {
+		if idx >= len(tasks) {
+			return
+		}
+		t := tasks[idx]
+		idx++
+		ops := make([]core.ResolvedOperand, len(t.Operands))
+		for i, op := range t.Operands {
+			ops[i] = core.ResolvedOperand{
+				Base: op.Base, Buf: uint64(op.Base), Size: op.Size, Dir: op.Dir,
+			}
+		}
+		m.back.TaskReady(&core.ReadyTask{
+			ID:       core.TaskID{Slot: uint32(t.Seq)},
+			Task:     t,
+			Operands: ops,
+		})
+	}
+	m.back.SetFinishHandler(&seqFinisher{feed: feed})
+	feed()
+	m.eng.Run()
+
+	res := &Result{Kind: Sequential, Cores: 1}
+	m.finish(tasks, res)
+	if int(m.back.Executed()) != len(tasks) {
+		return res, fmt.Errorf("tss: sequential run executed %d of %d tasks",
+			m.back.Executed(), len(tasks))
+	}
+	return res, nil
+}
+
+// SequentialCycles is a fast analytic lower bound used where a full
+// sequential simulation is unnecessary: the sum of task runtimes.
+func SequentialCycles(tasks []*taskmodel.Task) uint64 {
+	var sum uint64
+	for _, t := range tasks {
+		sum += t.Runtime
+	}
+	return sum
+}

@@ -1,0 +1,144 @@
+// Package tss is the public API of the task superscalar library: a
+// reproduction of "Task Superscalar: An Out-of-Order Task Pipeline"
+// (Etsion et al., MICRO 2010).
+//
+// Programs are built StarSs-style: kernels are registered by name, and each
+// Spawn call records one task whose operands carry explicit directionality
+// annotations (input / output / inout). Run executes the program on a
+// simulated chip multiprocessor driven either by the hardware task
+// superscalar pipeline frontend, by a software-runtime baseline, or
+// sequentially:
+//
+//	p := tss.NewProgram()
+//	gemm := p.Kernel("sgemm")
+//	a, b, c := p.Alloc(16<<10), p.Alloc(16<<10), p.Alloc(16<<10)
+//	p.Spawn(gemm, tss.Microseconds(23), tss.In(a), tss.In(b), tss.InOut(c))
+//	res, err := tss.Run(p, tss.DefaultConfig())
+package tss
+
+import (
+	"fmt"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// Addr is a simulated memory address identifying a memory object.
+type Addr = taskmodel.Addr
+
+// KernelID identifies a registered kernel.
+type KernelID = taskmodel.KernelID
+
+// Operand annotates one task operand with its directionality.
+type Operand = taskmodel.Operand
+
+// In annotates a read-only memory operand of the given size in bytes.
+func In(a Addr, size uint32) Operand {
+	return Operand{Base: a, Size: size, Dir: taskmodel.In}
+}
+
+// Out annotates a write-only memory operand. Output operands are renamed by
+// the pipeline, breaking anti- and output-dependencies.
+func Out(a Addr, size uint32) Operand {
+	return Operand{Base: a, Size: size, Dir: taskmodel.Out}
+}
+
+// InOut annotates a read-write memory operand (a true dependency; never
+// renamed).
+func InOut(a Addr, size uint32) Operand {
+	return Operand{Base: a, Size: size, Dir: taskmodel.InOut}
+}
+
+// Scalar annotates an immediate value operand (no dependency tracking).
+func Scalar() Operand {
+	return Operand{Size: 8, Dir: taskmodel.Scalar}
+}
+
+// ClockGHz is the simulated core clock (Table II).
+const ClockGHz = 3.2
+
+// Microseconds converts a task runtime to core cycles.
+func Microseconds(us float64) uint64 { return uint64(us * 1000 * ClockGHz) }
+
+// Nanoseconds converts a duration to core cycles.
+func Nanoseconds(ns float64) uint64 { return uint64(ns * ClockGHz) }
+
+// CyclesToNs converts cycles to nanoseconds at the simulated clock.
+func CyclesToNs(cycles float64) float64 { return cycles / ClockGHz }
+
+// Program is a sequential task-generating program: an ordered list of
+// annotated tasks, exactly what the task-generating thread would emit.
+type Program struct {
+	reg      taskmodel.Registry
+	tasks    []*taskmodel.Task
+	nextAddr Addr
+}
+
+// NewProgram returns an empty program. Its allocator starts at a fixed
+// base; when building multiple programs that will run together (see
+// RunPartitioned), use NewProgramAt with distinct bases so their objects do
+// not alias.
+func NewProgram() *Program {
+	return NewProgramAt(0x1000_0000)
+}
+
+// NewProgramAt returns an empty program whose allocator starts at base.
+func NewProgramAt(base Addr) *Program {
+	return &Program{nextAddr: base}
+}
+
+// Kernel registers (or looks up) a kernel by name.
+func (p *Program) Kernel(name string) KernelID { return p.reg.Register(name) }
+
+// KernelName returns the registered name for an ID.
+func (p *Program) KernelName(id KernelID) string { return p.reg.Name(id) }
+
+// Registry exposes the kernel registry (for graph rendering).
+func (p *Program) Registry() *taskmodel.Registry { return &p.reg }
+
+// Alloc reserves a fresh memory object of the given size and returns its
+// base address. Objects are page-aligned so distinct objects never alias.
+func (p *Program) Alloc(size uint32) Addr {
+	a := p.nextAddr
+	sz := Addr(size)
+	sz = (sz + 0xFFF) &^ Addr(0xFFF)
+	if sz == 0 {
+		sz = 0x1000
+	}
+	p.nextAddr += sz
+	return a
+}
+
+// Spawn appends a task invoking kernel k with the given runtime (cycles) and
+// operands. It returns the task's sequence number.
+func (p *Program) Spawn(k KernelID, runtimeCycles uint64, ops ...Operand) int {
+	t := &taskmodel.Task{
+		Kernel:   k,
+		Operands: ops,
+		Runtime:  runtimeCycles,
+		Seq:      uint64(len(p.tasks)),
+	}
+	p.tasks = append(p.tasks, t)
+	return int(t.Seq)
+}
+
+// Len returns the number of spawned tasks.
+func (p *Program) Len() int { return len(p.tasks) }
+
+// Tasks exposes the task list (read-only by convention).
+func (p *Program) Tasks() []*taskmodel.Task { return p.tasks }
+
+// Stream returns a fresh sequential stream over the program.
+func (p *Program) Stream() *taskmodel.SliceStream {
+	return taskmodel.NewSliceStream(p.tasks)
+}
+
+// Validate checks the program against the pipeline's architectural limits.
+func (p *Program) Validate() error {
+	for i, t := range p.tasks {
+		if len(t.Operands) > MaxOperands {
+			return fmt.Errorf("tss: task %d has %d operands; the pipeline supports at most %d",
+				i, len(t.Operands), MaxOperands)
+		}
+	}
+	return nil
+}
