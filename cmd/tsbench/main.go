@@ -1,9 +1,15 @@
 // tsbench regenerates the paper's tables and figures.
 //
+// Each experiment's parameter sweep runs as independent simulation jobs on
+// a worker pool (one worker per CPU by default); the printed tables are
+// byte-identical at every worker count.
+//
 // Usage:
 //
 //	tsbench -experiment all            # every table and figure (quick mode)
 //	tsbench -experiment fig16 -full    # one experiment at paper scale
+//	tsbench -experiment fig12 -workers 1   # force a serial sweep
+//	tsbench -experiment all -json results.json  # also dump sweep points
 //	tsbench -list                      # show available experiments
 package main
 
@@ -19,11 +25,13 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("experiment", "all", "experiment ID (or comma list, or 'all')")
-		full  = flag.Bool("full", false, "run at paper scale instead of quick mode")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Int64("seed", 42, "workload generation seed")
-		cores = flag.Int("cores", 256, "largest machine size")
+		expID   = flag.String("experiment", "all", "experiment ID (or comma list, or 'all')")
+		full    = flag.Bool("full", false, "run at paper scale instead of quick mode")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 42, "workload generation seed")
+		cores   = flag.Int("cores", 256, "largest machine size")
+		workers = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
+		jsonOut = flag.String("json", "", "also write every sweep point to this file as JSON")
 	)
 	flag.Parse()
 
@@ -34,7 +42,14 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed, Cores: *cores}
+	var sink *experiments.Sink
+	if *jsonOut != "" {
+		sink = &experiments.Sink{}
+	}
+	opts := experiments.Options{
+		Quick: !*full, Seed: *seed, Cores: *cores,
+		Workers: *workers, Sink: sink,
+	}
 	var ids []string
 	if *expID == "all" {
 		for _, e := range experiments.Registry() {
@@ -56,5 +71,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if sink != nil {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = sink.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sweep points written to %s (%d points)\n", *jsonOut, len(sink.Points()))
 	}
 }

@@ -8,13 +8,20 @@
 //	tssim -workload matmul -trs 4 -ort 1 -memory
 //	tssim -workload fft -save fft.trace        # save the task trace
 //	tssim -load fft.trace -cores 64            # replay a saved trace
+//	tssim -stream -tasks 1000000 -cores 64     # stream tasks lazily
+//
+// With -stream the task stream is generated lazily (the STAP-like CPI
+// stream) and executed through tss.RunStream, so memory stays bounded by
+// the pipeline's in-flight window however long the stream is.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"tasksuperscalar/internal/trace"
 	"tasksuperscalar/internal/workloads"
@@ -35,8 +42,29 @@ func main() {
 		memory   = flag.Bool("memory", false, "model the full memory hierarchy")
 		saveTo   = flag.String("save", "", "write the generated task trace to this file and exit (.json for JSON)")
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
+		stream   = flag.Bool("stream", false, "generate tasks lazily and run via the streaming frontend path")
 	)
 	flag.Parse()
+
+	if *stream {
+		// The streaming path generates its own workload and models no
+		// memory hierarchy; reject flags it would otherwise silently
+		// ignore.
+		conflicts := map[string]string{
+			"memory":   "-stream models no memory hierarchy",
+			"workload": "-stream always generates the CPI stream",
+			"save":     "-stream does not record a trace",
+			"load":     "-stream generates tasks instead of replaying",
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if why, ok := conflicts[f.Name]; ok {
+				fmt.Fprintf(os.Stderr, "tssim: -%s cannot be combined with -stream (%s)\n", f.Name, why)
+				os.Exit(2)
+			}
+		})
+		runStreaming(*tasks, *seed, *cores, *numTRS, *numORT, *trsKB, *ortKB, *runtime)
+		return
+	}
 
 	var b *workloads.Build
 	if *loadFrom != "" {
@@ -144,4 +172,53 @@ func main() {
 			res.Mem.Fetches, res.Mem.L1ObjHits, res.Mem.Invalidations, res.Mem.DMACopies,
 			float64(res.Mem.BytesMoved)/(1<<20))
 	}
+}
+
+// runStreaming drives the lazily generated CPI stream through the
+// streaming frontend path and reports the run with memory statistics.
+func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int, runtimeKind string) {
+	cfg := tss.DefaultConfig().WithCores(cores)
+	cfg.Memory = false
+	cfg.Frontend.NumTRS = numTRS
+	cfg.Frontend.NumORT = numORT
+	cfg.Frontend.TRSBytesEach = uint64(trsKB) << 10
+	cfg.Frontend.ORTBytesEach = uint64(ortKB) << 10
+	cfg.Frontend.OVTBytesEach = uint64(ortKB) << 10
+	switch runtimeKind {
+	case "hardware":
+		cfg.Runtime = tss.HardwarePipeline
+	case "software":
+		cfg.Runtime = tss.SoftwareRuntime
+	case "sequential":
+		cfg.Runtime = tss.Sequential
+	default:
+		fmt.Fprintf(os.Stderr, "tssim: unknown runtime %q\n", runtimeKind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("streaming %d STAP-like CPI tasks (seed %d)\n", tasks, seed)
+	start := time.Now()
+	res, err := tss.RunStream(workloads.NewCPIStream(tasks, seed), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+		os.Exit(1)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("runtime:        %s on %d cores (streamed)\n", cfg.Runtime, res.Cores)
+	fmt.Printf("tasks executed: %d\n", res.Tasks)
+	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
+		res.Cycles, float64(res.Cycles)/3.2e6)
+	if res.Cycles > 0 {
+		fmt.Printf("speedup:        %.1fx over sequential work (%d cycles)\n",
+			float64(res.TotalWorkCycles)/float64(res.Cycles), res.TotalWorkCycles)
+	}
+	if res.DecodeRateCycles > 0 {
+		fmt.Printf("decode rate:    %.0f cycles/task (%.0f ns)\n",
+			res.DecodeRateCycles, res.DecodeRateNs())
+	}
+	fmt.Printf("task window:    max %d in-flight tasks\n", res.WindowMax)
+	fmt.Printf("utilization:    %.1f%% of cores busy (time-averaged)\n", res.Utilization*100)
+	fmt.Printf("host:           %.1fs wall, %.1f MB heap in use\n",
+		time.Since(start).Seconds(), float64(ms.HeapAlloc)/(1<<20))
 }

@@ -1,0 +1,3 @@
+module tasksuperscalar
+
+go 1.24

@@ -38,11 +38,22 @@ type Config struct {
 	// heterogeneous CMP — the management direction the paper's
 	// conclusion points at. Nil means all cores run at full speed.
 	CoreSpeed []float64
+
+	// RecordSchedule retains per-task start/finish times (O(tasks)
+	// memory) for Schedule. Streaming runs disable it so backend memory
+	// stays proportional to the in-flight window.
+	RecordSchedule bool
+
+	// OnComplete, when set, is invoked as each task finishes (with its
+	// sequence number and completion cycle) — a bounded-memory
+	// alternative to Schedule for observing the retirement order.
+	OnComplete func(seq uint64, at sim.Cycle)
 }
 
 // DefaultConfig returns the backend used throughout the evaluation.
 func DefaultConfig(cores int) Config {
-	return Config{Cores: cores, LocalQueueDepth: 2, DispatchCycles: 16, CtrlBytes: 32}
+	return Config{Cores: cores, LocalQueueDepth: 2, DispatchCycles: 16, CtrlBytes: 32,
+		RecordSchedule: true}
 }
 
 // stagedTask is a local-queue entry whose operands may still be in flight.
@@ -147,13 +158,15 @@ func (b *Backend) trySteal(w *worker) {
 // and backend agree on core indices.
 func New(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg Config, m *mem.System) *Backend {
 	b := &Backend{
-		eng:      eng,
-		net:      net,
-		cfg:      cfg,
-		mem:      m,
-		node:     net.AddGlobalNode("gtu"),
-		startAt:  make(map[uint64]sim.Cycle),
-		finishAt: make(map[uint64]sim.Cycle),
+		eng:  eng,
+		net:  net,
+		cfg:  cfg,
+		mem:  m,
+		node: net.AddGlobalNode("gtu"),
+	}
+	if cfg.RecordSchedule {
+		b.startAt = make(map[uint64]sim.Cycle)
+		b.finishAt = make(map[uint64]sim.Cycle)
 	}
 	b.gtu = sim.NewServer[any](eng, "gtu", b.handleGTU)
 	for i := 0; i < cfg.Cores; i++ {
@@ -249,7 +262,9 @@ func (b *Backend) maybeStart(w *worker) {
 	w.running = true
 	rt := st.rt
 	b.busy.Inc(b.eng.Now(), +1)
-	b.startAt[rt.Task.Seq] = b.eng.Now()
+	if b.startAt != nil {
+		b.startAt[rt.Task.Seq] = b.eng.Now()
+	}
 	b.eng.Schedule(b.execCycles(w, rt), func() {
 		// The core frees at execution end; output writeback proceeds in
 		// the background and gates only the completion notification.
@@ -322,7 +337,12 @@ func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, then func()) {
 
 func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
 	now := b.eng.Now()
-	b.finishAt[rt.Task.Seq] = now
+	if b.finishAt != nil {
+		b.finishAt[rt.Task.Seq] = now
+	}
+	if b.cfg.OnComplete != nil {
+		b.cfg.OnComplete(rt.Task.Seq, now)
+	}
 	b.executed++
 	if b.finish != nil {
 		b.finish.TaskFinished(w.node, rt.ID)
@@ -337,8 +357,12 @@ func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
 func (b *Backend) Executed() uint64 { return b.executed }
 
 // Schedule returns observed start and finish times indexed by task sequence
-// number (for validation against the dependency-graph oracle).
+// number (for validation against the dependency-graph oracle). It returns
+// nils when the run was configured without schedule recording.
 func (b *Backend) Schedule(n int) (start, finish []uint64) {
+	if b.startAt == nil {
+		return nil, nil
+	}
 	start = make([]uint64, n)
 	finish = make([]uint64, n)
 	for seq, at := range b.startAt {

@@ -31,7 +31,12 @@ type Frontend struct {
 	firstDecode sim.Cycle
 	lastDecode  sim.Cycle
 	retired     uint64
-	readyLag    stats.Sample // decode-to-ready latency
+
+	// Decode-to-ready latency, kept as running aggregates (not a full
+	// sample) so frontend memory stays independent of the task count.
+	readyLagSum uint64
+	readyLagN   uint64
+	readyLagMax uint64
 }
 
 // New builds a frontend and attaches its modules to the network (call
@@ -157,7 +162,12 @@ func (fe *Frontend) setStall(src int, on bool) {
 // dispatchReady ships a ready task to the backend's queuing system.
 func (fe *Frontend) dispatchReady(fromNode int, rt *ReadyTask) {
 	size := fe.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
-	fe.readyLag.AddN(uint64(rt.ReadyAt - rt.DecodedAt))
+	lag := uint64(rt.ReadyAt - rt.DecodedAt)
+	fe.readyLagSum += lag
+	fe.readyLagN++
+	if lag > fe.readyLagMax {
+		fe.readyLagMax = lag
+	}
 	fe.net.Send(noc.NodeID(fromNode), fe.dispatcher.Node(), size, func() {
 		fe.dispatcher.TaskReady(rt)
 	})
@@ -221,10 +231,14 @@ type FrontendStats struct {
 	InPlaceUnblocks uint64
 
 	// Consumer chains: fraction with at most 2 links, the 95th
-	// percentile, and the maximum.
+	// percentile, and the maximum (recorded only when Config.RecordChains).
 	ChainFracAtMost2 float64
 	ChainP95         float64
 	ChainMax         int
+
+	// Decode-to-ready latency aggregates, in cycles.
+	ReadyLagAvg float64
+	ReadyLagMax uint64
 
 	GatewayAdmitted  uint64
 	GatewayIssuedOps uint64
@@ -304,6 +318,10 @@ func (fe *Frontend) Stats(end sim.Cycle) FrontendStats {
 	if chains.N() > 0 {
 		s.ChainFracAtMost2 = chains.FracAtMost(2)
 		s.ChainP95 = chains.Percentile(95)
+	}
+	if fe.readyLagN > 0 {
+		s.ReadyLagAvg = float64(fe.readyLagSum) / float64(fe.readyLagN)
+		s.ReadyLagMax = fe.readyLagMax
 	}
 	return s
 }

@@ -28,6 +28,7 @@ type gateway struct {
 
 	queue    []*pendingTask
 	bufUsed  uint32
+	inFlight int      // reserved-or-queued tasks (incoming window, in tasks)
 	waiters  []func() // generators blocked on buffer space
 	stalls   map[int]bool
 	nstalled int
@@ -61,8 +62,13 @@ func taskBytes(t *taskmodel.Task) uint32 {
 	return 16 + 8*uint32(t.NumOperands())
 }
 
-// RoomFor reports whether the incoming buffer can accept the task.
+// RoomFor reports whether the incoming buffer can accept the task: the byte
+// budget of the hardware buffer, plus the optional task-count window cap
+// used by streaming runs.
 func (g *gateway) RoomFor(t *taskmodel.Task) bool {
+	if max := g.fe.cfg.GatewayMaxTasks; max > 0 && g.inFlight >= max {
+		return false
+	}
 	return g.bufUsed+taskBytes(t) <= g.fe.cfg.GatewayBufBytes
 }
 
@@ -70,6 +76,7 @@ func (g *gateway) RoomFor(t *taskmodel.Task) bool {
 // reserves before injecting so in-flight tasks never overflow the buffer).
 func (g *gateway) Reserve(t *taskmodel.Task) {
 	g.bufUsed += taskBytes(t)
+	g.inFlight++
 }
 
 // Enqueue stages an arriving task (called at NoC delivery time); space was
@@ -249,6 +256,7 @@ func (g *gateway) retire(p *pendingTask) {
 	}
 	g.queue = g.queue[1:]
 	g.bufUsed -= p.bytes
+	g.inFlight--
 	// Wake blocked generators; a still-blocked generator re-registers
 	// itself, so drain a snapshot rather than the live list.
 	waiters := g.waiters

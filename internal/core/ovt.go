@@ -352,7 +352,9 @@ func (o *ovtModule) handleCopyDone(m ovtCopyDoneMsg) sim.Cycle {
 // successor took ownership) and unblocks an in-place successor.
 func (o *ovtModule) die(rec *verRec) {
 	rec.dead = true
-	o.chainLens = append(o.chainLens, rec.totalUses)
+	if o.fe.cfg.RecordChains {
+		o.chainLens = append(o.chainLens, rec.totalUses)
+	}
 	if rec.ownsRename && !rec.inPlaceNext {
 		o.freeBuffer(rec.buf, rec.bufBucket)
 		rec.ownsRename = false

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// The sweep engine: every experiment is a set of independent simulation
+// jobs (one machine configuration x one workload each). Jobs run
+// concurrently on a bounded worker pool, each filling a pre-assigned slot,
+// and the experiment then formats its tables serially from the ordered
+// slots — so the printed output (and any recorded points) are byte-for-byte
+// identical whatever the worker count or completion order.
+
+// pool is a bounded worker pool for independent simulation jobs.
+type pool struct {
+	workers int
+}
+
+// newPool returns a pool of the given width; workers <= 0 uses GOMAXPROCS.
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{workers: workers}
+}
+
+// Do runs job(0..n-1) across the pool and returns the lowest-index error
+// (deterministic regardless of scheduling). Every job is attempted.
+func (p *pool) Do(n int, job func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = job(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = job(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Label is one axis coordinate of a sweep point, e.g. {"bench", "Cholesky"}
+// or {"trs", "8"}.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Point is one aggregated sweep result: an experiment, the coordinates of
+// the point, and the metric values the experiment reports there.
+type Point struct {
+	Experiment string             `json:"experiment"`
+	Labels     []Label            `json:"labels"`
+	Values     map[string]float64 `json:"values"`
+}
+
+// Sink collects sweep points for machine-readable output (cmd/tsbench
+// -json). Experiments record points during their serial formatting pass, so
+// the order is deterministic. A nil *Sink discards records.
+type Sink struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Record appends one point.
+func (s *Sink) Record(experiment string, labels []Label, values map[string]float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, Point{Experiment: experiment, Labels: labels, Values: values})
+}
+
+// Points returns the recorded points in record order.
+func (s *Sink) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// WriteJSON emits the recorded points as an indented JSON array.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Points())
+}

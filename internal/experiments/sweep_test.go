@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		var ran int64
+		hit := make([]bool, 100)
+		err := newPool(workers).Do(len(hit), func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			hit[i] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran != int64(len(hit)) {
+			t.Fatalf("workers=%d: ran %d of %d jobs", workers, ran, len(hit))
+		}
+		for i, h := range hit {
+			if !h {
+				t.Fatalf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestPoolReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	err := newPool(8).Do(50, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 31:
+			return errors.New("b")
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestPoolZeroJobs(t *testing.T) {
+	if err := newPool(4).Do(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkRecordsPoints(t *testing.T) {
+	var s Sink
+	s.Record("x", []Label{{"k", "v"}}, map[string]float64{"m": 1})
+	s.Record("y", nil, map[string]float64{"m": 2})
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].Experiment != "x" || pts[1].Experiment != "y" {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"experiment": "x"`) {
+		t.Fatalf("JSON output missing point: %s", buf.String())
+	}
+	// A nil sink discards silently.
+	var nilSink *Sink
+	nilSink.Record("z", nil, nil)
+	if nilSink.Points() != nil {
+		t.Fatal("nil sink returned points")
+	}
+}
+
+// TestParallelSweepMatchesSerial is the sweep engine's core guarantee: the
+// same experiment produces byte-identical tables and recorded points at
+// every worker-pool width.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	run := func(workers int) (string, []Point) {
+		var buf bytes.Buffer
+		var sink Sink
+		o := Options{Quick: true, Seed: 42, Cores: 32, Workers: workers, Sink: &sink}
+		if err := Fig12(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		if err := Chains(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), sink.Points()
+	}
+	serialOut, serialPts := run(1)
+	parallelOut, parallelPts := run(4)
+	if serialOut != parallelOut {
+		t.Fatalf("serial and parallel sweeps diverge:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut, parallelOut)
+	}
+	if len(serialPts) != len(parallelPts) {
+		t.Fatalf("point counts differ: %d vs %d", len(serialPts), len(parallelPts))
+	}
+	for i := range serialPts {
+		if fmt.Sprintf("%+v", serialPts[i]) != fmt.Sprintf("%+v", parallelPts[i]) {
+			t.Fatalf("point %d differs:\nserial:   %+v\nparallel: %+v",
+				i, serialPts[i], parallelPts[i])
+		}
+	}
+}

@@ -83,6 +83,27 @@ func (t *Task) DataBytes() uint64 {
 	return n
 }
 
+// Allocator hands out fresh page-aligned memory objects by bumping a base
+// address — the one object-allocation policy shared by recorded programs,
+// streaming builders, and the workload generators, so streamed and recorded
+// forms of the same program produce identical operand addresses.
+type Allocator struct{ next Addr }
+
+// NewAllocator returns an allocator starting at base.
+func NewAllocator(base Addr) Allocator { return Allocator{next: base} }
+
+// Alloc reserves an object of the given size (rounded up to a 4 KB page,
+// minimum one page) and returns its base address.
+func (a *Allocator) Alloc(size uint32) Addr {
+	addr := a.next
+	sz := (Addr(size) + 0xFFF) &^ Addr(0xFFF)
+	if sz == 0 {
+		sz = 0x1000
+	}
+	a.next += sz
+	return addr
+}
+
 // KernelID identifies a kernel function in the registry.
 type KernelID uint32
 

@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// CPIStream lazily synthesizes the STAP benchmark as an unbounded stream of
+// coherent processing intervals: per CPI, eight short Doppler-filter tasks
+// feed eight covariance estimations, which pair up into four weight
+// applications (the same shape as the recorded STAP generator). Unlike the
+// slice-building GenFuncs, tasks are materialized one at a time as the
+// runtime pulls them, so a CPIStream of millions of tasks occupies only the
+// current CPI (at most 20 tasks) in memory — the workload the streaming
+// frontend path (tss.RunStream) is sized against.
+//
+// CPIStream implements the tss.Generator pull protocol; Next returns nil,
+// false once the requested task count has been emitted. Two streams built
+// with the same arguments yield identical tasks, so a streamed run can be
+// validated against the equivalent pre-recorded one.
+type CPIStream struct {
+	remaining int
+	rng       *rand.Rand
+	reg       taskmodel.Registry
+	mem       taskmodel.Allocator
+
+	doppler, covar, weights taskmodel.KernelID
+
+	buf []*taskmodel.Task // tasks of the current CPI, drained in order
+	pos int
+}
+
+// cpiChans is the CPI fan-out (channels per interval); one CPI emits
+// cpiChans doppler + cpiChans covariance + cpiChans/2 weight tasks.
+const cpiChans = 8
+
+// CPITasks is the number of tasks in one full coherent processing interval.
+const CPITasks = cpiChans + cpiChans + cpiChans/2
+
+// NewCPIStream returns a deterministic stream of exactly n STAP-like tasks
+// (the final CPI is truncated when n is not a multiple of CPITasks).
+func NewCPIStream(n int, seed int64) *CPIStream {
+	s := &CPIStream{
+		remaining: n,
+		rng:       rand.New(rand.NewSource(seed)),
+		mem:       taskmodel.NewAllocator(0x1000_0000),
+	}
+	s.doppler = s.reg.Register("doppler_fir")
+	s.covar = s.reg.Register("covariance")
+	s.weights = s.reg.Register("apply_weights")
+	return s
+}
+
+// Registry exposes the kernel registry (for rendering and tracing).
+func (s *CPIStream) Registry() *taskmodel.Registry { return &s.reg }
+
+func (s *CPIStream) alloc(size uint32) taskmodel.Addr { return s.mem.Alloc(size) }
+
+func (s *CPIStream) jitter(v uint64) uint64 {
+	f := 0.95 + 0.1*s.rng.Float64()
+	return uint64(float64(v) * f)
+}
+
+// refill synthesizes the next CPI into the buffer.
+func (s *CPIStream) refill() {
+	const sliceBytes = 3 << 10
+	const covBytes = 4 << 10
+	s.buf = s.buf[:0]
+	s.pos = 0
+	add := func(k taskmodel.KernelID, runtime uint64, ops ...taskmodel.Operand) {
+		s.buf = append(s.buf, &taskmodel.Task{Kernel: k, Operands: ops, Runtime: runtime})
+	}
+	cube := s.alloc(64 << 10)
+	filtered := make([]taskmodel.Addr, cpiChans)
+	for ch := range filtered {
+		filtered[ch] = s.alloc(sliceBytes)
+	}
+	for ch := 0; ch < cpiChans; ch++ {
+		add(s.doppler, us(1+2*s.rng.Float64()),
+			in(cube, sliceBytes), out(filtered[ch], sliceBytes))
+	}
+	covs := make([]taskmodel.Addr, cpiChans)
+	for ch := range covs {
+		covs[ch] = s.alloc(covBytes)
+	}
+	for ch := 0; ch < cpiChans; ch++ {
+		add(s.covar, s.jitter(us(9)),
+			in(filtered[ch], sliceBytes), out(covs[ch], covBytes))
+	}
+	for g := 0; g < cpiChans/2; g++ {
+		res := s.alloc(4 << 10)
+		add(s.weights, s.jitter(us(120)),
+			in(covs[g*2], covBytes), in(covs[g*2+1], covBytes),
+			in(filtered[g*2], sliceBytes), out(res, 4<<10))
+	}
+}
+
+// Next implements the tss.Generator pull protocol.
+func (s *CPIStream) Next() (*taskmodel.Task, bool) {
+	if s.remaining <= 0 {
+		return nil, false
+	}
+	if s.pos >= len(s.buf) {
+		s.refill()
+	}
+	t := s.buf[s.pos]
+	s.buf[s.pos] = nil
+	s.pos++
+	s.remaining--
+	return t, true
+}

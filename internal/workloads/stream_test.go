@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+func drain(s *CPIStream) []*taskmodel.Task {
+	var out []*taskmodel.Task
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func TestCPIStreamExactCount(t *testing.T) {
+	for _, n := range []int{0, 1, CPITasks, CPITasks + 7, 5*CPITasks - 3} {
+		got := len(drain(NewCPIStream(n, 1)))
+		if got != n {
+			t.Errorf("stream of %d tasks yielded %d", n, got)
+		}
+	}
+}
+
+func TestCPIStreamDeterministic(t *testing.T) {
+	a := drain(NewCPIStream(507, 42))
+	b := drain(NewCPIStream(507, 42))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kernel != y.Kernel || x.Runtime != y.Runtime || len(x.Operands) != len(y.Operands) {
+			t.Fatalf("task %d differs: %+v vs %+v", i, x, y)
+		}
+		for j := range x.Operands {
+			if x.Operands[j] != y.Operands[j] {
+				t.Fatalf("task %d operand %d differs: %+v vs %+v",
+					i, j, x.Operands[j], y.Operands[j])
+			}
+		}
+	}
+}
+
+func TestCPIStreamBoundedBuffer(t *testing.T) {
+	s := NewCPIStream(10*CPITasks, 7)
+	for i := 0; i < 5*CPITasks; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if len(s.buf) > CPITasks {
+			t.Fatalf("buffer holds %d tasks, want <= %d", len(s.buf), CPITasks)
+		}
+	}
+}
+
+func TestCPIStreamMatchesSTAPShape(t *testing.T) {
+	tasks := drain(NewCPIStream(CPITasks, 3))
+	var ops int
+	for _, tk := range tasks {
+		ops += len(tk.Operands)
+		if len(tk.Operands) > 19 {
+			t.Fatalf("task exceeds operand limit: %d", len(tk.Operands))
+		}
+	}
+	// 8 doppler (2 ops) + 8 covar (2 ops) + 4 weights (4 ops).
+	if want := 8*2 + 8*2 + 4*4; ops != want {
+		t.Fatalf("CPI has %d operands, want %d", ops, want)
+	}
+}

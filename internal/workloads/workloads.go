@@ -7,6 +7,20 @@
 // the operand counts, the per-task data sizes, and the runtime distribution
 // (min / median / average of Table I). Frontend behaviour depends only on
 // these, not on the kernels' arithmetic.
+//
+// Workloads come in two forms. The recorded form — All, ByName, and the
+// per-benchmark GenFuncs (Cholesky, MatMul, FFT, H264, KMeans, Knn, PBPI,
+// SPECFEM, STAP) — builds the whole task slice up front as a Build, which
+// tss.RunTasks replays and MeasureTableI summarizes the way Table I reports
+// benchmarks. The streaming form — CPIStream in stream.go — materializes
+// tasks lazily as the runtime pulls them, so arbitrarily long streams run
+// in memory proportional to the pipeline's task window (the workload behind
+// tss.RunStream and tssim -stream).
+//
+// All generation is deterministic: a generator called twice with the same
+// (budget, seed) yields identical tasks, which is what lets the experiment
+// sweeps regenerate workloads independently in concurrent jobs and still
+// produce byte-identical tables.
 package workloads
 
 import (
@@ -149,25 +163,17 @@ func MeasureTableI(b *Build) Measured {
 
 // builder carries shared generator state.
 type builder struct {
-	reg      taskmodel.Registry
-	tasks    []*taskmodel.Task
-	rng      *rand.Rand
-	nextAddr taskmodel.Addr
+	reg   taskmodel.Registry
+	tasks []*taskmodel.Task
+	rng   *rand.Rand
+	mem   taskmodel.Allocator
 }
 
 func newBuilder(seed int64) *builder {
-	return &builder{rng: rand.New(rand.NewSource(seed)), nextAddr: 0x1000_0000}
+	return &builder{rng: rand.New(rand.NewSource(seed)), mem: taskmodel.NewAllocator(0x1000_0000)}
 }
 
-func (b *builder) alloc(size uint32) taskmodel.Addr {
-	a := b.nextAddr
-	sz := taskmodel.Addr(size+0xFFF) &^ taskmodel.Addr(0xFFF)
-	if sz == 0 {
-		sz = 0x1000
-	}
-	b.nextAddr += sz
-	return a
-}
+func (b *builder) alloc(size uint32) taskmodel.Addr { return b.mem.Alloc(size) }
 
 // allocN allocates n equally sized objects.
 func (b *builder) allocN(n int, size uint32) []taskmodel.Addr {

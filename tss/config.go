@@ -65,6 +65,11 @@ type Config struct {
 	Memory bool
 	// LineDetailMemory additionally drives line-granular L1 models.
 	LineDetailMemory bool
+
+	// OnComplete, when set, observes every task retirement (sequence
+	// number and completion cycle) as it happens. It is the bounded-memory
+	// alternative to Result.Start/Finish for streamed runs.
+	OnComplete func(seq, cycle uint64)
 }
 
 // DefaultConfig returns the paper's operating point: 256 cores, 8 TRS,

@@ -3,8 +3,6 @@ package tss
 import (
 	"fmt"
 
-	"tasksuperscalar/internal/core"
-	"tasksuperscalar/internal/noc"
 	"tasksuperscalar/internal/taskmodel"
 )
 
@@ -49,47 +47,13 @@ func RunPartitioned(partitions []*Program, cfg Config) (*Result, error) {
 		}
 	}
 
-	m := buildMachine(cfg)
-	var copyEng core.CopyEngine
-	if m.memory != nil {
-		copyEng = m.memory
-	} else {
-		copyEng = core.NewNullCopyEngine(m.eng)
-	}
-	fe := core.New(m.eng, m.net, cfg.Frontend, copyEng)
-	fe.SetDispatcher(m.back)
-	m.back.SetFinishHandler(fe)
-
-	// One generating thread per partition, each on its own core node.
-	var genNodes []noc.NodeID
-	gens := make([]*core.Generator, len(streams))
-	for range streams {
-		genNodes = append(genNodes, m.net.AddCore("generator"))
-	}
-	m.net.Build()
+	// Each partition becomes one pre-sequenced stream; the shared
+	// multi-generator machinery drives one generating thread per stream.
+	counting := make([]*countingStream, len(streams))
 	for i, ts := range streams {
-		stream := &rawStream{tasks: ts}
-		gens[i] = core.NewGenerator(fe, genNodes[i], stream)
+		counting[i] = newCountingStream(&rawStream{tasks: ts}, nil)
 	}
-	for _, g := range gens {
-		g.Start()
-	}
-	m.eng.Run()
-
-	var all []*taskmodel.Task
-	for _, ts := range streams {
-		all = append(all, ts...)
-	}
-	res := &Result{Kind: HardwarePipeline, Cores: cfg.Cores}
-	m.finish(all, res)
-	res.Frontend = fe.Stats(m.eng.Now())
-	res.DecodeRateCycles = res.Frontend.DecodeRate
-	res.WindowMax = res.Frontend.WindowMax
-	if int(m.back.Executed()) != total {
-		return res, fmt.Errorf("tss: partitioned run executed %d of %d tasks",
-			m.back.Executed(), total)
-	}
-	return res, nil
+	return runHardwareMulti(counting, cfg, true)
 }
 
 // checkDisjoint rejects partitions that touch the same memory object.

@@ -42,7 +42,8 @@ type Result struct {
 	Mem mem.Stats
 
 	// Start and Finish are per-task observed times indexed by sequence
-	// number (for validation).
+	// number (for validation). Streamed runs leave them nil — use
+	// Config.OnComplete to observe retirement in bounded memory.
 	Start, Finish []uint64
 }
 
@@ -71,13 +72,20 @@ func RunTasks(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	st := newCountingStream(taskmodel.NewSliceStream(tasks), nil)
+	return dispatchRun(st, cfg, true)
+}
+
+// dispatchRun executes one task stream on the selected runtime. record
+// retains the per-task schedule (O(tasks) memory; pre-recorded runs only).
+func dispatchRun(st *countingStream, cfg Config, record bool) (*Result, error) {
 	switch cfg.Runtime {
 	case Sequential:
-		return runSequential(tasks, cfg)
+		return runSequential(st, cfg, record)
 	case HardwarePipeline:
-		return runHardware(tasks, cfg)
+		return runHardwareMulti([]*countingStream{st}, cfg, record)
 	case SoftwareRuntime:
-		return runSoftware(tasks, cfg)
+		return runSoftware(st, cfg, record)
 	default:
 		return nil, fmt.Errorf("tss: unknown runtime kind %d", cfg.Runtime)
 	}
@@ -108,24 +116,34 @@ func buildMachine(cfg Config) *machine {
 	}
 	bcfg := cfg.Backend
 	bcfg.Cores = cfg.Cores
+	if cfg.OnComplete != nil {
+		hook := cfg.OnComplete
+		bcfg.OnComplete = func(seq uint64, at sim.Cycle) { hook(seq, uint64(at)) }
+	}
 	m.back = backend.New(eng, net, m.coreNodes, bcfg, m.memory)
 	return m
 }
 
-func (m *machine) finish(tasks []*taskmodel.Task, res *Result) {
+// finish fills the common result fields. n and work are the stream's task
+// count and total runtime; record additionally extracts the per-task
+// schedule from the backend.
+func (m *machine) finish(res *Result, n, work uint64, record bool) {
 	res.Cycles = uint64(m.eng.Now())
 	res.Tasks = m.back.Executed()
-	for _, t := range tasks {
-		res.TotalWorkCycles += t.Runtime
-	}
+	res.TotalWorkCycles = work
 	res.Utilization = m.back.Utilization(m.eng.Now()) / float64(res.Cores)
-	res.Start, res.Finish = m.back.Schedule(len(tasks))
+	if record {
+		res.Start, res.Finish = m.back.Schedule(int(n))
+	}
 	if m.memory != nil {
 		res.Mem = m.memory.Snapshot()
 	}
 }
 
-func runHardware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+// runHardwareMulti drives the hardware pipeline from one or more
+// task-generating threads, each pulling lazily from its own stream with the
+// gateway's buffer as back-pressure.
+func runHardwareMulti(streams []*countingStream, cfg Config, record bool) (*Result, error) {
 	m := buildMachine(cfg)
 	var copyEng core.CopyEngine
 	if m.memory != nil {
@@ -136,27 +154,53 @@ func runHardware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	fe := core.New(m.eng, m.net, cfg.Frontend, copyEng)
 	fe.SetDispatcher(m.back)
 	m.back.SetFinishHandler(fe)
-	m.net.Build()
 
-	gen := core.NewGenerator(fe, m.genNode, taskmodel.NewSliceStream(tasks))
-	gen.Start()
+	// One generating thread per stream; a single stream reuses the
+	// machine's generator core, additional ones get their own.
+	genNodes := []noc.NodeID{m.genNode}
+	if len(streams) > 1 {
+		genNodes = genNodes[:0]
+		for range streams {
+			genNodes = append(genNodes, m.net.AddCore("generator"))
+		}
+	}
+	m.net.Build()
+	gens := make([]*core.Generator, len(streams))
+	for i, st := range streams {
+		gens[i] = core.NewGenerator(fe, genNodes[i], st)
+	}
+	for _, g := range gens {
+		g.Start()
+	}
 	m.eng.Run()
 
+	var n, work uint64
+	var streamErr error
+	for _, st := range streams {
+		n += st.n
+		work += st.work
+		if streamErr == nil && st.err != nil {
+			streamErr = st.err
+		}
+	}
 	res := &Result{Kind: HardwarePipeline, Cores: cfg.Cores}
-	m.finish(tasks, res)
+	m.finish(res, n, work, record)
 	res.Frontend = fe.Stats(m.eng.Now())
 	res.DecodeRateCycles = res.Frontend.DecodeRate
 	res.WindowMax = res.Frontend.WindowMax
-	if int(m.back.Executed()) != len(tasks) {
+	if streamErr != nil {
+		return res, streamErr
+	}
+	if m.back.Executed() != n {
 		return res, fmt.Errorf("tss: hardware run executed %d of %d tasks (pipeline deadlock?)",
-			m.back.Executed(), len(tasks))
+			m.back.Executed(), n)
 	}
 	return res, nil
 }
 
-func runSoftware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+func runSoftware(st *countingStream, cfg Config, record bool) (*Result, error) {
 	m := buildMachine(cfg)
-	rt := softrt.New(m.eng, cfg.Software, taskmodel.NewSliceStream(tasks), m.back, m.genNode)
+	rt := softrt.New(m.eng, cfg.Software, st, m.back, m.genNode)
 	m.back.SetFinishHandler(rt)
 	m.net.Build()
 
@@ -164,13 +208,16 @@ func runSoftware(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	m.eng.Run()
 
 	res := &Result{Kind: SoftwareRuntime, Cores: cfg.Cores}
-	m.finish(tasks, res)
+	m.finish(res, st.n, st.work, record)
 	res.Software = rt.Snapshot()
 	res.DecodeRateCycles = res.Software.DecodeRate
 	res.WindowMax = res.Software.WindowMax
-	if int(m.back.Executed()) != len(tasks) {
+	if st.err != nil {
+		return res, st.err
+	}
+	if m.back.Executed() != st.n {
 		return res, fmt.Errorf("tss: software run executed %d of %d tasks",
-			m.back.Executed(), len(tasks))
+			m.back.Executed(), st.n)
 	}
 	return res, nil
 }
@@ -182,19 +229,17 @@ type seqFinisher struct {
 
 func (s *seqFinisher) TaskFinished(from noc.NodeID, id core.TaskID) { s.feed() }
 
-func runSequential(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+func runSequential(st *countingStream, cfg Config, record bool) (*Result, error) {
 	cfg = cfg.WithCores(1)
 	m := buildMachine(cfg)
 	m.net.Build()
 
-	idx := 0
 	var feed func()
 	feed = func() {
-		if idx >= len(tasks) {
+		t := st.Next()
+		if t == nil {
 			return
 		}
-		t := tasks[idx]
-		idx++
 		ops := make([]core.ResolvedOperand, len(t.Operands))
 		for i, op := range t.Operands {
 			ops[i] = core.ResolvedOperand{
@@ -212,10 +257,13 @@ func runSequential(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	m.eng.Run()
 
 	res := &Result{Kind: Sequential, Cores: 1}
-	m.finish(tasks, res)
-	if int(m.back.Executed()) != len(tasks) {
+	m.finish(res, st.n, st.work, record)
+	if st.err != nil {
+		return res, st.err
+	}
+	if m.back.Executed() != st.n {
 		return res, fmt.Errorf("tss: sequential run executed %d of %d tasks",
-			m.back.Executed(), len(tasks))
+			m.back.Executed(), st.n)
 	}
 	return res, nil
 }

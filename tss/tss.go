@@ -12,8 +12,14 @@
 //	p := tss.NewProgram()
 //	gemm := p.Kernel("sgemm")
 //	a, b, c := p.Alloc(16<<10), p.Alloc(16<<10), p.Alloc(16<<10)
-//	p.Spawn(gemm, tss.Microseconds(23), tss.In(a), tss.In(b), tss.InOut(c))
+//	p.Spawn(gemm, tss.Microseconds(23), tss.In(a, 16<<10), tss.In(b, 16<<10), tss.InOut(c, 16<<10))
 //	res, err := tss.Run(p, tss.DefaultConfig())
+//
+// A Program records every task before the run starts. For unbounded
+// workloads, implement Generator (see stream.go) and call RunStream: tasks
+// are then produced lazily under gateway back-pressure and the run's memory
+// is bounded by the pipeline's in-flight task window instead of the stream
+// length.
 package tss
 
 import (
@@ -68,9 +74,9 @@ func CyclesToNs(cycles float64) float64 { return cycles / ClockGHz }
 // Program is a sequential task-generating program: an ordered list of
 // annotated tasks, exactly what the task-generating thread would emit.
 type Program struct {
-	reg      taskmodel.Registry
-	tasks    []*taskmodel.Task
-	nextAddr Addr
+	reg   taskmodel.Registry
+	tasks []*taskmodel.Task
+	alloc taskmodel.Allocator
 }
 
 // NewProgram returns an empty program. Its allocator starts at a fixed
@@ -83,7 +89,7 @@ func NewProgram() *Program {
 
 // NewProgramAt returns an empty program whose allocator starts at base.
 func NewProgramAt(base Addr) *Program {
-	return &Program{nextAddr: base}
+	return &Program{alloc: taskmodel.NewAllocator(base)}
 }
 
 // Kernel registers (or looks up) a kernel by name.
@@ -97,16 +103,7 @@ func (p *Program) Registry() *taskmodel.Registry { return &p.reg }
 
 // Alloc reserves a fresh memory object of the given size and returns its
 // base address. Objects are page-aligned so distinct objects never alias.
-func (p *Program) Alloc(size uint32) Addr {
-	a := p.nextAddr
-	sz := Addr(size)
-	sz = (sz + 0xFFF) &^ Addr(0xFFF)
-	if sz == 0 {
-		sz = 0x1000
-	}
-	p.nextAddr += sz
-	return a
-}
+func (p *Program) Alloc(size uint32) Addr { return p.alloc.Alloc(size) }
 
 // Spawn appends a task invoking kernel k with the given runtime (cycles) and
 // operands. It returns the task's sequence number.
