@@ -12,6 +12,7 @@ import (
 	"io"
 	"testing"
 
+	"tasksuperscalar/internal/benchsuite"
 	"tasksuperscalar/internal/experiments"
 	"tasksuperscalar/internal/workloads"
 	"tasksuperscalar/tss"
@@ -216,19 +217,9 @@ func BenchmarkAblationHeterogeneous(b *testing.B) {
 
 // BenchmarkFrontendDecode measures raw frontend decode throughput
 // (cycles of simulated work per simulated task are reported by Fig12/13;
-// this reports host ns/simulated-task).
-func BenchmarkFrontendDecode(b *testing.B) {
-	build := workloads.Cholesky(2000, 42)
-	cfg := tss.DefaultConfig().WithCores(256)
-	cfg.Memory = false
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := tss.RunTasks(build.Tasks, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(len(build.Tasks)), "tasks/op")
-}
+// this reports host ns and allocations per simulated task). The body is
+// shared with `tsbench -benchjson` via internal/benchsuite.
+func BenchmarkFrontendDecode(b *testing.B) { benchsuite.FrontendDecode(b) }
 
 // BenchmarkSoftwareRuntime measures the software-baseline path.
 func BenchmarkSoftwareRuntime(b *testing.B) {
@@ -236,10 +227,9 @@ func BenchmarkSoftwareRuntime(b *testing.B) {
 	cfg := tss.DefaultConfig().WithCores(256)
 	cfg.Memory = false
 	cfg.Runtime = tss.SoftwareRuntime
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	benchsuite.ReportPerTask(b, len(build.Tasks), func() {
 		if _, err := tss.RunTasks(build.Tasks, cfg); err != nil {
 			b.Fatal(err)
 		}
-	}
+	})
 }

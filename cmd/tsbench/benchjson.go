@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tasksuperscalar/internal/benchsuite"
+)
+
+// The -benchjson mode measures the simulation substrate's host-time
+// efficiency (ns and allocations per event / per simulated task) and
+// records the numbers as machine-readable JSON, so the perf trajectory of
+// the engine is tracked in-repo (BENCH_engine.json) and per-PR (the CI
+// bench artifact). The measured bodies are the internal/benchsuite
+// functions — exactly the code `go test -bench` runs.
+//
+// The file keeps two snapshots: "baseline" is preserved from the existing
+// file (seeded once from the pre-calendar-queue engine), "current" is
+// refreshed on every run. Regressions therefore show up as a shrinking gap.
+
+type benchPoint struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	TasksPerOp    float64 `json:"tasks_per_op,omitempty"`
+	NsPerTask     float64 `json:"ns_per_task,omitempty"`
+	AllocsPerTask float64 `json:"allocs_per_task,omitempty"`
+}
+
+type benchSnapshot struct {
+	Note    string                `json:"note,omitempty"`
+	Go      string                `json:"go"`
+	Results map[string]benchPoint `json:"results"`
+}
+
+type benchFile struct {
+	Schema   string         `json:"schema"`
+	Baseline *benchSnapshot `json:"baseline,omitempty"`
+	Current  *benchSnapshot `json:"current"`
+}
+
+// point converts a benchmark result; per-simulated-task rates are derived
+// when the bench reported a "tasks/op" metric (benchsuite.ReportPerTask).
+func point(r testing.BenchmarkResult) benchPoint {
+	p := benchPoint{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if tasks := r.Extra["tasks/op"]; tasks > 0 {
+		p.TasksPerOp = tasks
+		p.NsPerTask = p.NsPerOp / tasks
+		p.AllocsPerTask = p.AllocsPerOp / tasks
+	}
+	return p
+}
+
+// runBenchJSON measures the substrate benches and writes/updates the JSON
+// file at path.
+func runBenchJSON(path string) error {
+	results := map[string]benchPoint{
+		"engine_schedule_fire":  point(testing.Benchmark(benchsuite.EngineScheduleFire)),
+		"engine_schedule_pop":   point(testing.Benchmark(benchsuite.EngineSchedulePop)),
+		"engine_mixed_horizons": point(testing.Benchmark(benchsuite.EngineMixedHorizons)),
+		"server_pipeline":       point(testing.Benchmark(benchsuite.ServerPipeline)),
+		"frontend_decode":       point(testing.Benchmark(benchsuite.FrontendDecode)),
+	}
+
+	current := &benchSnapshot{
+		Note:    "calendar-queue engine, typed pooled events",
+		Go:      runtime.Version(),
+		Results: results,
+	}
+	out := benchFile{Schema: "tasksuperscalar-bench/v1", Current: current}
+
+	// Preserve the committed baseline; seed it from the first measurement
+	// when the file does not exist yet.
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev benchFile
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("tsbench: parsing existing %s: %w", path, err)
+		}
+		out.Baseline = prev.Baseline
+	}
+	if out.Baseline == nil {
+		seed := *current
+		seed.Note = "seeded from first -benchjson run"
+		out.Baseline = &seed
+	}
+
+	raw, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return err
+	}
+
+	// Human-readable summary next to the artifact.
+	fd := results["frontend_decode"]
+	fmt.Printf("benchjson written to %s\n", path)
+	fmt.Printf("frontend decode: %.0f ns/task, %.1f allocs/task\n", fd.NsPerTask, fd.AllocsPerTask)
+	if b := out.Baseline.Results["frontend_decode"]; b.NsPerTask > 0 {
+		fmt.Printf("vs baseline:     %.0f ns/task (%+.1f%%), %.1f allocs/task (%+.1f%%)\n",
+			b.NsPerTask, 100*(fd.NsPerTask-b.NsPerTask)/b.NsPerTask,
+			b.AllocsPerTask, 100*(fd.AllocsPerTask-b.AllocsPerTask)/b.AllocsPerTask)
+	}
+	return nil
+}

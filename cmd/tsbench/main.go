@@ -10,6 +10,7 @@
 //	tsbench -experiment fig16 -full    # one experiment at paper scale
 //	tsbench -experiment fig12 -workers 1   # force a serial sweep
 //	tsbench -experiment all -json results.json  # also dump sweep points
+//	tsbench -benchjson BENCH_engine.json   # substrate perf snapshot (JSON)
 //	tsbench -list                      # show available experiments
 package main
 
@@ -32,8 +33,17 @@ func main() {
 		cores   = flag.Int("cores", 256, "largest machine size")
 		workers = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
 		jsonOut = flag.String("json", "", "also write every sweep point to this file as JSON")
+		benchJS = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
 	)
 	flag.Parse()
+
+	if *benchJS != "" {
+		if err := runBenchJSON(*benchJS); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

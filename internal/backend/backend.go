@@ -57,9 +57,20 @@ func DefaultConfig(cores int) Config {
 }
 
 // stagedTask is a local-queue entry whose operands may still be in flight.
+// It doubles as the staging-complete event and recycles through the
+// backend's free list.
 type stagedTask struct {
 	rt     *core.ReadyTask
 	staged bool
+	b      *Backend
+	w      *worker
+	next   *stagedTask
+}
+
+// Fire marks the operands arrived and pokes the owning core.
+func (st *stagedTask) Fire() {
+	st.staged = true
+	st.b.maybeStart(st.w)
 }
 
 // worker is one processor core acting as a functional unit. Operand staging
@@ -71,6 +82,7 @@ type worker struct {
 	node    noc.NodeID
 	queue   []*stagedTask
 	running bool
+	credit  *gtuCredit // reusable (immutable) local-queue credit message
 }
 
 // Backend implements core.Dispatcher.
@@ -89,6 +101,12 @@ type Backend struct {
 	freeRR  int
 	workers []*worker
 
+	// Free lists for the per-task event objects (delivery, staging,
+	// execution lifecycle), so steady-state execution does not allocate.
+	freeStaged  *stagedTask
+	freeTask    *taskEvent
+	freeDeliver *deliverTaskEvent
+
 	// Observability, indexed by task sequence number.
 	startAt  map[uint64]sim.Cycle
 	finishAt map[uint64]sim.Cycle
@@ -99,8 +117,8 @@ type Backend struct {
 	steals    uint64
 }
 
-// gtuMsg types.
-type gtuReady struct{ rt *core.ReadyTask }
+// gtuMsg types. Ready tasks travel as bare *core.ReadyTask pointers;
+// credits are per-worker singletons — neither allocates per message.
 type gtuCredit struct{ worker int }
 type gtuMove struct{ from, to int } // steal: slot moves between workers
 
@@ -137,15 +155,16 @@ func (b *Backend) trySteal(w *worker) {
 	}
 	st := victim.queue[len(victim.queue)-1]
 	victim.queue = victim.queue[:len(victim.queue)-1]
+	st.w = w
 	b.steals++
 	b.net.Send(w.node, victim.node, b.cfg.CtrlBytes, func() {
 		b.net.Send(victim.node, w.node, b.cfg.CtrlBytes, func() {
 			// Re-stage on the thief (its L1 must hold the operands).
-			b.stageOperands(w, st.rt, func() {
+			b.stageOperands(w, st.rt, sim.FuncEvent(func() {
 				w.queue = append(w.queue, st)
 				st.staged = true
 				b.maybeStart(w)
-			})
+			}))
 			// The local-queue slot moves with the task.
 			b.gtu.Submit(gtuMove{from: victim.idx, to: w.idx})
 		})
@@ -170,7 +189,9 @@ func New(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg Config, 
 	}
 	b.gtu = sim.NewServer[any](eng, "gtu", b.handleGTU)
 	for i := 0; i < cfg.Cores; i++ {
-		b.workers = append(b.workers, &worker{idx: i, node: coreNodes[i]})
+		b.workers = append(b.workers, &worker{
+			idx: i, node: coreNodes[i], credit: &gtuCredit{worker: i},
+		})
 		b.credits = append(b.credits, cfg.LocalQueueDepth)
 	}
 	return b
@@ -183,17 +204,17 @@ func (b *Backend) SetFinishHandler(h FinishHandler) { b.finish = h }
 func (b *Backend) Node() noc.NodeID { return b.node }
 
 // TaskReady implements core.Dispatcher: the ready queue accepts the task.
-func (b *Backend) TaskReady(rt *core.ReadyTask) { b.gtu.Submit(gtuReady{rt}) }
+func (b *Backend) TaskReady(rt *core.ReadyTask) { b.gtu.Submit(rt) }
 
 func (b *Backend) handleGTU(m any) sim.Cycle {
 	switch msg := m.(type) {
-	case gtuReady:
-		b.readyQ = append(b.readyQ, msg.rt)
+	case *core.ReadyTask:
+		b.readyQ = append(b.readyQ, msg)
 		if len(b.readyQ) > b.readyPeak {
 			b.readyPeak = len(b.readyQ)
 		}
 		return b.dispatch()
-	case gtuCredit:
+	case *gtuCredit:
 		b.credits[msg.worker]++
 		return b.dispatch()
 	case gtuMove:
@@ -203,6 +224,23 @@ func (b *Backend) handleGTU(m any) sim.Cycle {
 	default:
 		panic("gtu: unknown message")
 	}
+}
+
+// deliverTaskEvent carries one dispatched task from the global task unit to
+// a worker's local queue; pooled on the backend.
+type deliverTaskEvent struct {
+	b    *Backend
+	w    *worker
+	rt   *core.ReadyTask
+	next *deliverTaskEvent
+}
+
+func (ev *deliverTaskEvent) Fire() {
+	b, w, rt := ev.b, ev.w, ev.rt
+	ev.rt = nil
+	ev.next = b.freeDeliver
+	b.freeDeliver = ev
+	b.deliver(w, rt)
 }
 
 // dispatch hands queued tasks to workers with free local-queue slots,
@@ -228,7 +266,15 @@ func (b *Backend) dispatch() sim.Cycle {
 		b.credits[picked]--
 		w := b.workers[picked]
 		size := b.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
-		b.net.Send(b.node, w.node, size, func() { b.deliver(w, rt) })
+		ev := b.freeDeliver
+		if ev == nil {
+			ev = &deliverTaskEvent{b: b}
+		} else {
+			b.freeDeliver = ev.next
+			ev.next = nil
+		}
+		ev.w, ev.rt = w, rt
+		b.net.SendEvent(b.node, w.node, size, ev)
 		cost += b.cfg.DispatchCycles
 	}
 	return cost
@@ -237,12 +283,50 @@ func (b *Backend) dispatch() sim.Cycle {
 // deliver places a task in a worker's local queue and begins staging its
 // operands immediately, overlapping any current execution.
 func (b *Backend) deliver(w *worker, rt *core.ReadyTask) {
-	st := &stagedTask{rt: rt}
+	st := b.freeStaged
+	if st == nil {
+		st = &stagedTask{b: b}
+	} else {
+		b.freeStaged = st.next
+		st.next = nil
+	}
+	st.rt, st.w, st.staged = rt, w, false
 	w.queue = append(w.queue, st)
-	b.stageOperands(w, rt, func() {
-		st.staged = true
+	b.stageOperands(w, rt, st)
+}
+
+// taskEvent drives one task's execution lifecycle (execution end, then
+// writeback completion) through a single pooled object.
+type taskEvent struct {
+	b     *Backend
+	w     *worker
+	rt    *core.ReadyTask
+	phase uint8
+	next  *taskEvent
+}
+
+const (
+	phaseExecDone uint8 = iota
+	phaseWriteDone
+)
+
+func (ev *taskEvent) Fire() {
+	b, w, rt := ev.b, ev.w, ev.rt
+	switch ev.phase {
+	case phaseExecDone:
+		// The core frees at execution end; output writeback proceeds in
+		// the background and gates only the completion notification.
+		b.busy.Inc(b.eng.Now(), -1)
+		w.running = false
 		b.maybeStart(w)
-	})
+		ev.phase = phaseWriteDone
+		b.writeOutputs(w, rt, ev)
+	case phaseWriteDone:
+		ev.rt = nil
+		ev.next = b.freeTask
+		b.freeTask = ev
+		b.completeTask(w, rt)
+	}
 }
 
 // maybeStart launches the head task once the core is idle and the task's
@@ -261,34 +345,37 @@ func (b *Backend) maybeStart(w *worker) {
 	w.queue = w.queue[1:]
 	w.running = true
 	rt := st.rt
+	st.rt, st.w = nil, nil
+	st.next = b.freeStaged
+	b.freeStaged = st
 	b.busy.Inc(b.eng.Now(), +1)
 	if b.startAt != nil {
 		b.startAt[rt.Task.Seq] = b.eng.Now()
 	}
-	b.eng.Schedule(b.execCycles(w, rt), func() {
-		// The core frees at execution end; output writeback proceeds in
-		// the background and gates only the completion notification.
-		b.busy.Inc(b.eng.Now(), -1)
-		w.running = false
-		b.maybeStart(w)
-		b.writeOutputs(w, rt, func() {
-			b.completeTask(w, rt)
-		})
-	})
+	ev := b.freeTask
+	if ev == nil {
+		ev = &taskEvent{b: b}
+	} else {
+		b.freeTask = ev.next
+		ev.next = nil
+	}
+	ev.w, ev.rt, ev.phase = w, rt, phaseExecDone
+	b.eng.ScheduleEvent(b.execCycles(w, rt), ev)
 }
 
 // stageOperands brings every input operand into the worker's L1 and
-// acquires write ownership of outputs, all in parallel; then runs.
-func (b *Backend) stageOperands(w *worker, rt *core.ReadyTask, then func()) {
+// acquires write ownership of outputs, all in parallel; done fires once
+// everything has arrived.
+func (b *Backend) stageOperands(w *worker, rt *core.ReadyTask, done sim.Event) {
 	if b.mem == nil {
-		b.eng.Schedule(0, then)
+		b.eng.ScheduleEvent(0, done)
 		return
 	}
 	pending := 0
 	fire := func() {
 		pending--
 		if pending == 0 {
-			then()
+			done.Fire()
 		}
 	}
 	for _, op := range rt.Operands {
@@ -306,21 +393,21 @@ func (b *Backend) stageOperands(w *worker, rt *core.ReadyTask, then func()) {
 		}
 	}
 	if pending == 0 {
-		b.eng.Schedule(0, then)
+		b.eng.ScheduleEvent(0, done)
 	}
 }
 
 // writeOutputs flushes produced data to the shared L2 so consumers see it.
-func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, then func()) {
+func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, done sim.Event) {
 	if b.mem == nil {
-		b.eng.Schedule(0, then)
+		b.eng.ScheduleEvent(0, done)
 		return
 	}
 	pending := 0
 	fire := func() {
 		pending--
 		if pending == 0 {
-			then()
+			done.Fire()
 		}
 	}
 	for _, op := range rt.Operands {
@@ -331,7 +418,7 @@ func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, then func()) {
 		b.mem.Writeback(w.idx, op.Buf, op.Size, fire)
 	}
 	if pending == 0 {
-		b.eng.Schedule(0, then)
+		b.eng.ScheduleEvent(0, done)
 	}
 }
 
@@ -348,9 +435,7 @@ func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
 		b.finish.TaskFinished(w.node, rt.ID)
 	}
 	// Return the local-queue slot to the global task unit.
-	b.net.Send(w.node, b.node, b.cfg.CtrlBytes, func() {
-		b.gtu.Submit(gtuCredit{worker: w.idx})
-	})
+	b.net.SendMsg(w.node, b.node, b.cfg.CtrlBytes, b.gtu, w.credit)
 }
 
 // Executed returns the number of completed tasks.

@@ -23,6 +23,12 @@ type Frontend struct {
 	dispatcher Dispatcher
 	copyEngine CopyEngine
 
+	// pools recycles protocol message structs; together with the NoC's
+	// typed delivery events this keeps the steady-state message path
+	// allocation-free (see docs/ARCHITECTURE.md).
+	pools     msgPools
+	freeReady *readyEvent
+
 	stallState []bool
 
 	// Stats.
@@ -108,31 +114,35 @@ func (fe *Frontend) trsGen(id TaskID) uint32 {
 }
 
 // --- message transport (asynchronous point-to-point over the NoC) ---
+//
+// Messages are pooled structs passed as pointers; the NoC delivers them to
+// the destination module's server through typed events, so no closure and
+// no boxing happens per message.
 
 func (fe *Frontend) sendToTRS(fromNode, trsIdx int, m any) {
 	t := fe.trs[trsIdx]
-	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(t.node), fe.cfg.CtrlBytes, func() { t.srv.Submit(m) })
+	fe.net.SendMsg(noc.NodeID(fromNode), noc.NodeID(t.node), fe.cfg.CtrlBytes, t.srv, m)
 }
 
 func (fe *Frontend) sendToORT(fromNode, ortIdx int, m any) {
 	o := fe.ort[ortIdx]
-	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, func() { o.srv.Submit(m) })
+	fe.net.SendMsg(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, o.srv, m)
 }
 
 func (fe *Frontend) sendToOVT(fromNode, ovtIdx int, m any) {
 	o := fe.ovt[ovtIdx]
-	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, func() { o.srv.Submit(m) })
+	fe.net.SendMsg(noc.NodeID(fromNode), noc.NodeID(o.node), fe.cfg.CtrlBytes, o.srv, m)
 }
 
 func (fe *Frontend) sendToGW(fromNode int, m any) {
-	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(fe.gw.node), fe.cfg.CtrlBytes, func() { fe.gw.srv.Submit(m) })
+	fe.net.SendMsg(noc.NodeID(fromNode), noc.NodeID(fe.gw.node), fe.cfg.CtrlBytes, fe.gw.srv, m)
 }
 
 func (fe *Frontend) sendToTRSFromGW(m any, trsIdx int) {
 	fe.sendToTRS(fe.gw.node, trsIdx, m)
 }
 
-func (fe *Frontend) sendToORTFromGW(m ortDecodeMsg, ortIdx int) {
+func (fe *Frontend) sendToORTFromGW(m *ortDecodeMsg, ortIdx int) {
 	fe.sendToORT(fe.gw.node, ortIdx, m)
 }
 
@@ -154,9 +164,25 @@ func (fe *Frontend) setStall(src int, on bool) {
 	} else {
 		fromNode = fe.ovt[src/2].node
 	}
-	fe.net.Send(noc.NodeID(fromNode), noc.NodeID(fe.gw.node), fe.cfg.CtrlBytes, func() {
-		fe.gw.srv.Submit(gwStallMsg{src: src, stalled: on})
-	})
+	sm := fe.pools.stall.get()
+	*sm = gwStallMsg{src: src, stalled: on}
+	fe.sendToGW(fromNode, sm)
+}
+
+// readyEvent carries one decoded-and-ready task to the dispatcher; pooled
+// so the per-task dispatch costs no allocation.
+type readyEvent struct {
+	fe   *Frontend
+	rt   *ReadyTask
+	next *readyEvent
+}
+
+func (ev *readyEvent) Fire() {
+	fe, rt := ev.fe, ev.rt
+	ev.rt = nil
+	ev.next = fe.freeReady
+	fe.freeReady = ev
+	fe.dispatcher.TaskReady(rt)
 }
 
 // dispatchReady ships a ready task to the backend's queuing system.
@@ -168,9 +194,15 @@ func (fe *Frontend) dispatchReady(fromNode int, rt *ReadyTask) {
 	if lag > fe.readyLagMax {
 		fe.readyLagMax = lag
 	}
-	fe.net.Send(noc.NodeID(fromNode), fe.dispatcher.Node(), size, func() {
-		fe.dispatcher.TaskReady(rt)
-	})
+	ev := fe.freeReady
+	if ev == nil {
+		ev = &readyEvent{fe: fe}
+	} else {
+		fe.freeReady = ev.next
+		ev.next = nil
+	}
+	ev.rt = rt
+	fe.net.SendEvent(noc.NodeID(fromNode), fe.dispatcher.Node(), size, ev)
 }
 
 // TaskFinished is called by the backend (from the worker's node) when a task
@@ -178,9 +210,9 @@ func (fe *Frontend) dispatchReady(fromNode int, rt *ReadyTask) {
 // the task's storage.
 func (fe *Frontend) TaskFinished(fromNode noc.NodeID, id TaskID) {
 	t := fe.trs[id.TRS]
-	fe.net.Send(fromNode, noc.NodeID(t.node), fe.cfg.CtrlBytes, func() {
-		t.srv.Submit(trsTaskFinishedMsg{id: id})
-	})
+	fm := fe.pools.finished.get()
+	*fm = trsTaskFinishedMsg{id: id}
+	fe.net.SendMsg(fromNode, noc.NodeID(t.node), fe.cfg.CtrlBytes, t.srv, fm)
 }
 
 // --- bookkeeping ---
@@ -338,6 +370,11 @@ type Generator struct {
 	node   noc.NodeID
 	stream taskmodel.Stream
 
+	// cur is the task being packed or awaiting buffer space; submitFn is
+	// built once so the per-task schedule/await path does not allocate.
+	cur      *taskmodel.Task
+	submitFn func()
+
 	produced   uint64
 	done       bool
 	onFinished []func()
@@ -346,7 +383,9 @@ type Generator struct {
 // NewGenerator creates a generator that injects tasks from node (typically
 // a core on a local ring).
 func NewGenerator(fe *Frontend, node noc.NodeID, stream taskmodel.Stream) *Generator {
-	return &Generator{fe: fe, node: node, stream: stream}
+	g := &Generator{fe: fe, node: node, stream: stream}
+	g.submitFn = g.trySubmit
+	return g
 }
 
 // Start begins producing tasks.
@@ -373,20 +412,21 @@ func (g *Generator) produce() {
 	if t.NumOperands() > MaxOperands {
 		panic("generator: task exceeds the 19-operand limit")
 	}
+	g.cur = t
 	cost := g.fe.cfg.GenBaseCycles + g.fe.cfg.GenPerOpCycles*sim.Cycle(t.NumOperands())
-	g.fe.eng.Schedule(cost, func() { g.trySubmit(t) })
+	g.fe.eng.Schedule(cost, g.submitFn)
 }
 
-func (g *Generator) trySubmit(t *taskmodel.Task) {
+func (g *Generator) trySubmit() {
+	t := g.cur
 	gw := g.fe.gw
 	if !gw.RoomFor(t) {
-		gw.AwaitRoom(func() { g.trySubmit(t) })
+		gw.AwaitRoom(g.submitFn)
 		return
 	}
 	gw.Reserve(t)
 	g.produced++
-	g.fe.net.Send(g.node, g.fe.GatewayNode(), taskBytes(t), func() {
-		gw.Enqueue(t)
-	})
+	g.cur = nil
+	g.fe.net.SendMsg(g.node, g.fe.GatewayNode(), taskBytes(t), gw.enqSink, t)
 	g.produce()
 }

@@ -5,7 +5,9 @@ import (
 	"tasksuperscalar/internal/taskmodel"
 )
 
-// pendingTask is a task staged in the gateway's incoming buffer.
+// pendingTask is a task staged in the gateway's incoming buffer. Records
+// recycle through the gateway's free list (one allocation per
+// window-occupancy high-water mark, not per task).
 type pendingTask struct {
 	task  *taskmodel.Task
 	bytes uint32
@@ -15,6 +17,8 @@ type pendingTask struct {
 	id         TaskID
 	nextIssue  int // next operand index to distribute
 	issuesDone bool
+
+	next *pendingTask // free-list link
 }
 
 // gateway is the pipeline entry point: it buffers incoming tasks (1 KB),
@@ -27,6 +31,8 @@ type gateway struct {
 	srv  *sim.Server[any]
 
 	queue    []*pendingTask
+	freePend *pendingTask // free list of pendingTask records
+	enqSink  sim.Sink     // delivery target for generator task injection
 	bufUsed  uint32
 	inFlight int      // reserved-or-queued tasks (incoming window, in tasks)
 	waiters  []func() // generators blocked on buffer space
@@ -53,8 +59,15 @@ func newGateway(fe *Frontend) *gateway {
 	}
 	g.anyFree = true
 	g.srv = sim.NewServer[any](fe.eng, "gateway", g.handle)
+	g.enqSink = enqueueSink{g}
 	return g
 }
+
+// enqueueSink adapts task injection to the NoC's sink-based delivery: the
+// generator's message payload is the task pointer itself.
+type enqueueSink struct{ g *gateway }
+
+func (s enqueueSink) Submit(m any) { s.g.Enqueue(m.(*taskmodel.Task)) }
 
 // taskBytes is the space a task occupies in the gateway buffer: kernel
 // pointer and globals plus one descriptor per operand.
@@ -82,7 +95,14 @@ func (g *gateway) Reserve(t *taskmodel.Task) {
 // Enqueue stages an arriving task (called at NoC delivery time); space was
 // already reserved by Reserve.
 func (g *gateway) Enqueue(t *taskmodel.Task) {
-	g.queue = append(g.queue, &pendingTask{task: t, bytes: taskBytes(t)})
+	p := g.freePend
+	if p == nil {
+		p = &pendingTask{}
+	} else {
+		g.freePend = p.next
+	}
+	*p = pendingTask{task: t, bytes: taskBytes(t)}
+	g.queue = append(g.queue, p)
 	g.admitted++
 	g.srv.Submit(gwKickMsg{})
 }
@@ -97,15 +117,21 @@ func (g *gateway) handle(m any) sim.Cycle {
 	switch msg := m.(type) {
 	case gwKickMsg:
 		return g.step()
-	case gwAllocReplyMsg:
-		return g.handleAllocReply(msg)
-	case gwSpaceFreedMsg:
-		g.freeTRS[msg.trs] = true
+	case *gwAllocReplyMsg:
+		v := *msg
+		g.fe.pools.allocReply.put(msg)
+		return g.handleAllocReply(v)
+	case *gwSpaceFreedMsg:
+		trs := msg.trs
+		g.fe.pools.spaceFreed.put(msg)
+		g.freeTRS[trs] = true
 		g.anyFree = true
 		g.srv.Submit(gwKickMsg{})
 		return g.fe.cfg.ProcCycles
-	case gwStallMsg:
-		return g.handleStall(msg)
+	case *gwStallMsg:
+		v := *msg
+		g.fe.pools.stall.put(msg)
+		return g.handleStall(v)
 	default:
 		panic("gateway: unknown message")
 	}
@@ -154,7 +180,9 @@ func (g *gateway) step() sim.Cycle {
 			break
 		}
 		p.allocSent = true
-		g.fe.sendToTRSFromGW(trsAllocMsg{task: p.task, gwRef: g.refOf(p)}, trs)
+		am := g.fe.pools.alloc.get()
+		*am = trsAllocMsg{task: p.task, gwRef: g.refOf(p)}
+		g.fe.sendToTRSFromGW(am, trs)
 		cost += g.fe.cfg.ProcCycles
 		progress = true
 		break
@@ -234,15 +262,19 @@ func (g *gateway) issueOne(p *pendingTask) sim.Cycle {
 	op := ops[i]
 	oid := OperandID{Task: p.id, Index: uint8(i)}
 	if op.Dir == taskmodel.Scalar {
-		g.fe.sendToTRSFromGW(trsScalarMsg{op: oid}, int(p.id.TRS))
+		sm := g.fe.pools.scalar.get()
+		*sm = trsScalarMsg{op: oid}
+		g.fe.sendToTRSFromGW(sm, int(p.id.TRS))
 	} else {
 		ort := g.fe.ortFor(uint64(op.Base))
-		g.fe.sendToORTFromGW(ortDecodeMsg{
+		dm := g.fe.pools.decode.get()
+		*dm = ortDecodeMsg{
 			op:   oid,
 			base: uint64(op.Base),
 			size: op.Size,
 			dir:  op.Dir,
-		}, ort)
+		}
+		g.fe.sendToORTFromGW(dm, ort)
 	}
 	g.issuedOps++
 	return g.fe.cfg.ProcCycles
@@ -257,6 +289,8 @@ func (g *gateway) retire(p *pendingTask) {
 	g.queue = g.queue[1:]
 	g.bufUsed -= p.bytes
 	g.inFlight--
+	*p = pendingTask{next: g.freePend}
+	g.freePend = p
 	// Wake blocked generators; a still-blocked generator re-registers
 	// itself, so drain a snapshot rather than the live list.
 	waiters := g.waiters

@@ -60,10 +60,14 @@ func newORT(fe *Frontend, index int) *ortModule {
 
 func (o *ortModule) handle(m any) sim.Cycle {
 	switch msg := m.(type) {
-	case ortDecodeMsg:
-		return o.handleDecode(msg, false)
-	case ortReleaseMsg:
-		return o.handleRelease(msg)
+	case *ortDecodeMsg:
+		v := *msg
+		o.fe.pools.decode.put(msg)
+		return o.handleDecode(v, false)
+	case *ortReleaseMsg:
+		v := *msg
+		o.fe.pools.ortRelease.put(msg)
+		return o.handleRelease(v)
 	default:
 		panic("ort: unknown message")
 	}
@@ -156,10 +160,12 @@ func (o *ortModule) decodeMiss(m ortDecodeMsg, w *ortEntry) sim.Cycle {
 	if o.occupied > o.maxOccupied {
 		o.maxOccupied = o.occupied
 	}
-	info := trsOperandInfoMsg{
+	info := o.fe.pools.opInfo.get()
+	*info = trsOperandInfoMsg{
 		op: m.op, base: m.base, size: m.size, dir: m.dir, version: v,
 	}
-	nv := ovtNewVersionMsg{v: v, base: m.base, size: m.size, initialUse: 1}
+	nv := o.fe.pools.newVersion.get()
+	*nv = ovtNewVersionMsg{v: v, base: m.base, size: m.size, initialUse: 1}
 	switch m.dir {
 	case taskmodel.In:
 		// Data is in memory; the operand is immediately ready.
@@ -191,7 +197,8 @@ func (o *ortModule) decodeHit(m ortDecodeMsg, e *ortEntry) sim.Cycle {
 	prevGen := e.lastUserGen
 	prevVer := e.latestVer
 
-	info := trsOperandInfoMsg{op: m.op, base: m.base, size: m.size, dir: m.dir}
+	info := o.fe.pools.opInfo.get()
+	*info = trsOperandInfoMsg{op: m.op, base: m.base, size: m.size, dir: m.dir}
 	switch m.dir {
 	case taskmodel.In:
 		// RaR or RaW: register with the previous user, join the version.
@@ -199,7 +206,9 @@ func (o *ortModule) decodeHit(m ortDecodeMsg, e *ortEntry) sim.Cycle {
 		info.hasProducer = true
 		info.producer = prevUser
 		info.prodGen = prevGen
-		o.fe.sendToOVT(o.node, o.index, ovtAddUseMsg{v: prevVer})
+		au := o.fe.pools.addUse.get()
+		*au = ovtAddUseMsg{v: prevVer}
+		o.fe.sendToOVT(o.node, o.index, au)
 		e.uses++
 		if o.fe.cfg.Chaining || m.dir.Writes() {
 			e.lastUser = m.op
@@ -208,13 +217,15 @@ func (o *ortModule) decodeHit(m ortDecodeMsg, e *ortEntry) sim.Cycle {
 	case taskmodel.Out:
 		v := o.newVersion()
 		info.version = v
-		o.fe.sendToOVT(o.node, o.index, ovtNewVersionMsg{
+		nv := o.fe.pools.newVersion.get()
+		*nv = ovtNewVersionMsg{
 			v: v, base: m.base, size: m.size,
 			hasProducer: true, producer: m.op,
 			hasPrev: true, prev: prevVer,
 			inPlace:    !o.fe.cfg.Renaming,
 			initialUse: 1,
-		})
+		}
+		o.fe.sendToOVT(o.node, o.index, nv)
 		e.lastUser = m.op
 		e.lastUserGen = o.fe.trsGen(m.op.Task)
 		e.latestVer = v
@@ -228,13 +239,15 @@ func (o *ortModule) decodeHit(m ortDecodeMsg, e *ortEntry) sim.Cycle {
 		info.hasProducer = true
 		info.producer = prevUser
 		info.prodGen = prevGen
-		o.fe.sendToOVT(o.node, o.index, ovtNewVersionMsg{
+		nv := o.fe.pools.newVersion.get()
+		*nv = ovtNewVersionMsg{
 			v: v, base: m.base, size: m.size,
 			hasProducer: true, producer: m.op,
 			hasPrev: true, prev: prevVer,
 			inPlace:    true,
 			initialUse: 1,
-		})
+		}
+		o.fe.sendToOVT(o.node, o.index, nv)
 		e.lastUser = m.op
 		e.lastUserGen = o.fe.trsGen(m.op.Task)
 		e.latestVer = v
@@ -259,7 +272,9 @@ func (o *ortModule) handleRelease(m ortReleaseMsg) sim.Cycle {
 		o.releases++
 		freed = true
 	}
-	o.fe.sendToOVT(o.node, o.index, ovtReleaseAckMsg{v: m.version, freed: freed})
+	ra := o.fe.pools.releaseAck.get()
+	*ra = ovtReleaseAckMsg{v: m.version, freed: freed}
+	o.fe.sendToOVT(o.node, o.index, ra)
 	// Replay stashed decodes for this set, in order.
 	for freed && len(o.waiting[set]) > 0 {
 		if o.freeWay(set) == nil && o.find(set, o.waiting[set][0].base) == nil {

@@ -91,18 +91,30 @@ func newOVT(fe *Frontend, index int) *ovtModule {
 
 func (o *ovtModule) handle(m any) sim.Cycle {
 	switch msg := m.(type) {
-	case ovtNewVersionMsg:
-		return o.handleNewVersion(msg, false)
-	case ovtAddUseMsg:
-		return o.handleAddUse(msg)
-	case ovtDecUseMsg:
-		return o.handleDecUse(msg)
-	case ovtQueryBufMsg:
-		return o.handleQuery(msg)
-	case ovtReleaseAckMsg:
-		return o.handleReleaseAck(msg)
-	case ovtCopyDoneMsg:
-		return o.handleCopyDone(msg)
+	case *ovtNewVersionMsg:
+		v := *msg
+		o.fe.pools.newVersion.put(msg)
+		return o.handleNewVersion(v, false)
+	case *ovtAddUseMsg:
+		v := *msg
+		o.fe.pools.addUse.put(msg)
+		return o.handleAddUse(v)
+	case *ovtDecUseMsg:
+		v := *msg
+		o.fe.pools.decUse.put(msg)
+		return o.handleDecUse(v)
+	case *ovtQueryBufMsg:
+		v := *msg
+		o.fe.pools.query.put(msg)
+		return o.handleQuery(v)
+	case *ovtReleaseAckMsg:
+		v := *msg
+		o.fe.pools.releaseAck.put(msg)
+		return o.handleReleaseAck(v)
+	case *ovtCopyDoneMsg:
+		v := *msg
+		o.fe.pools.copyDone.put(msg)
+		return o.handleCopyDone(v)
 	default:
 		panic("ovt: unknown message")
 	}
@@ -188,10 +200,7 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 		// deferred until the buffer is known, at the end of creation.
 		defer func() {
 			for _, c := range qs {
-				o.fe.sendToTRS(o.node, int(c.Task.TRS), trsDataReadyMsg{
-					op:  c,
-					buf: rec.buf,
-				})
+				o.sendDataReady(c, rec.buf, false)
 			}
 			delete(o.pendingQueries, m.v.Num)
 		}()
@@ -245,13 +254,16 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 	return cost
 }
 
+// sendDataReady ships one pooled readiness notification to an operand's TRS.
+func (o *ovtModule) sendDataReady(op OperandID, buf uint64, output bool) {
+	dm := o.fe.pools.dataReady.get()
+	*dm = trsDataReadyMsg{op: op, buf: buf, output: output}
+	o.fe.sendToTRS(o.node, int(op.Task.TRS), dm)
+}
+
 // grantOutput tells the producer's TRS that the output buffer is available.
 func (o *ovtModule) grantOutput(rec *verRec) {
-	o.fe.sendToTRS(o.node, int(rec.producer.Task.TRS), trsDataReadyMsg{
-		op:     rec.producer,
-		buf:    rec.buf,
-		output: true,
-	})
+	o.sendDataReady(rec.producer, rec.buf, true)
 }
 
 func (o *ovtModule) handleAddUse(m ovtAddUseMsg) sim.Cycle {
@@ -292,10 +304,7 @@ func (o *ovtModule) handleQuery(m ovtQueryBufMsg) sim.Cycle {
 		o.pendingQueries[m.v.Num] = append(o.pendingQueries[m.v.Num], m.consumer)
 		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
 	}
-	o.fe.sendToTRS(o.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
-		op:  m.consumer,
-		buf: rec.buf,
-	})
+	o.sendDataReady(m.consumer, rec.buf, false)
 	return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
 }
 
@@ -316,17 +325,20 @@ func (o *ovtModule) maybeRelease(rec *verRec) {
 		// the original object address with the external DMA engine.
 		rec.copyInFlight = true
 		src, dst, size := rec.buf, rec.base, rec.size
+		id := rec.id
 		o.copyBacks++
 		o.fe.copyEngine.Copy(src, dst, size, func() {
-			o.srv.Submit(ovtCopyDoneMsg{v: rec.id})
+			cm := o.fe.pools.copyDone.get()
+			*cm = ovtCopyDoneMsg{v: id}
+			o.srv.Submit(cm)
 		})
 		return
 	}
 	if !rec.releasePending {
 		rec.releasePending = true
-		o.fe.sendToORT(o.node, o.index, ortReleaseMsg{
-			base: rec.base, version: rec.id, granted: rec.granted,
-		})
+		rm := o.fe.pools.ortRelease.get()
+		*rm = ortReleaseMsg{base: rec.base, version: rec.id, granted: rec.granted}
+		o.fe.sendToORT(o.node, o.index, rm)
 	}
 }
 
@@ -363,11 +375,7 @@ func (o *ovtModule) die(rec *verRec) {
 		// Figure 9: "data ready for output" once all users of the
 		// previous version finished.
 		o.inPlaceUnblocks++
-		o.fe.sendToTRS(o.node, int(rec.waiter.Task.TRS), trsDataReadyMsg{
-			op:     rec.waiter,
-			buf:    rec.buf,
-			output: true,
-		})
+		o.sendDataReady(rec.waiter, rec.buf, true)
 	}
 	delete(o.recs, rec.id.Num)
 	o.released++

@@ -1,0 +1,54 @@
+package core
+
+// pool is a simple free list of message structs. Protocol messages travel
+// as *T inside an `any`: storing a pointer in an interface does not
+// allocate, so a pooled message makes the whole send-transport-handle path
+// allocation-free. Pools are owned by one Frontend and therefore by one
+// engine goroutine — no locking.
+//
+// Convention: a message is taken with get, fully overwritten by the sender
+// (whole-struct assignment, never field patching), and returned to the pool
+// by the receiving module's handle method after it has copied the value
+// out. Pooled messages must never be retained by reference across handler
+// boundaries.
+type pool[T any] struct {
+	free []*T
+}
+
+func (p *pool[T]) get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+func (p *pool[T]) put(x *T) {
+	p.free = append(p.free, x)
+}
+
+// msgPools holds one free list per protocol message type.
+type msgPools struct {
+	alloc       pool[trsAllocMsg]
+	opInfo      pool[trsOperandInfoMsg]
+	scalar      pool[trsScalarMsg]
+	regConsumer pool[trsRegisterConsumerMsg]
+	dataReady   pool[trsDataReadyMsg]
+	finished    pool[trsTaskFinishedMsg]
+
+	decode     pool[ortDecodeMsg]
+	ortRelease pool[ortReleaseMsg]
+
+	newVersion pool[ovtNewVersionMsg]
+	addUse     pool[ovtAddUseMsg]
+	decUse     pool[ovtDecUseMsg]
+	query      pool[ovtQueryBufMsg]
+	releaseAck pool[ovtReleaseAckMsg]
+	copyDone   pool[ovtCopyDoneMsg]
+
+	allocReply pool[gwAllocReplyMsg]
+	spaceFreed pool[gwSpaceFreedMsg]
+	stall      pool[gwStallMsg]
+}

@@ -79,20 +79,34 @@ func newTRS(fe *Frontend, index int) *trsModule {
 	return t
 }
 
+// handle copies each pooled message out and recycles it before dispatching,
+// ordered by rough message frequency.
 func (t *trsModule) handle(m any) sim.Cycle {
 	switch msg := m.(type) {
-	case trsAllocMsg:
-		return t.handleAlloc(msg)
-	case trsOperandInfoMsg:
-		return t.handleOperandInfo(msg)
-	case trsScalarMsg:
-		return t.handleScalar(msg)
-	case trsRegisterConsumerMsg:
-		return t.handleRegisterConsumer(msg)
-	case trsDataReadyMsg:
-		return t.handleDataReady(msg)
-	case trsTaskFinishedMsg:
-		return t.handleFinished(msg)
+	case *trsDataReadyMsg:
+		v := *msg
+		t.fe.pools.dataReady.put(msg)
+		return t.handleDataReady(v)
+	case *trsOperandInfoMsg:
+		v := *msg
+		t.fe.pools.opInfo.put(msg)
+		return t.handleOperandInfo(v)
+	case *trsRegisterConsumerMsg:
+		v := *msg
+		t.fe.pools.regConsumer.put(msg)
+		return t.handleRegisterConsumer(v)
+	case *trsScalarMsg:
+		v := *msg
+		t.fe.pools.scalar.put(msg)
+		return t.handleScalar(v)
+	case *trsAllocMsg:
+		v := *msg
+		t.fe.pools.alloc.put(msg)
+		return t.handleAlloc(v)
+	case *trsTaskFinishedMsg:
+		v := *msg
+		t.fe.pools.finished.put(msg)
+		return t.handleFinished(v)
 	default:
 		panic("trs: unknown message")
 	}
@@ -158,11 +172,13 @@ func (t *trsModule) allocate(m trsAllocMsg, blocks int) sim.Cycle {
 	t.fe.noteWindowDelta(+1)
 
 	// Reply to the gateway with the slot number.
-	t.fe.sendToGW(t.node, gwAllocReplyMsg{
+	rm := t.fe.pools.allocReply.get()
+	*rm = gwAllocReplyMsg{
 		gwRef:     m.gwRef,
 		id:        rec.id,
 		moreSpace: t.freeBlocks >= blocksForOperands(MaxOperands),
-	})
+	}
+	t.fe.sendToGW(t.node, rm)
 	if t.freeBlocks < blocksForOperands(MaxOperands) {
 		t.reportedFull = true
 	}
@@ -217,12 +233,14 @@ func (t *trsModule) handleOperandInfo(m trsOperandInfoMsg) sim.Cycle {
 	cost := t.fe.cfg.ProcCycles + t.fe.cfg.EDRAMCycles
 	if m.hasProducer {
 		// Register with the previous user of the version for input data.
-		t.fe.sendToTRS(t.node, int(m.producer.Task.TRS), trsRegisterConsumerMsg{
+		rc := t.fe.pools.regConsumer.get()
+		*rc = trsRegisterConsumerMsg{
 			producer:     m.producer,
 			prodGen:      m.prodGen,
 			consumer:     m.op,
 			queryVersion: m.version,
-		})
+		}
+		t.fe.sendToTRS(t.node, int(m.producer.Task.TRS), rc)
 	}
 	if m.immediateReady > 0 {
 		op.pending -= m.immediateReady
@@ -264,27 +282,25 @@ func (t *trsModule) handleRegisterConsumer(m trsRegisterConsumerMsg) sim.Cycle {
 	if r == nil {
 		// The user already retired; its data was produced and written
 		// back. Resolve the buffer through the version record.
-		t.fe.sendToOVT(t.node, int(m.queryVersion.OVT), ovtQueryBufMsg{
+		qm := t.fe.pools.query.get()
+		*qm = ovtQueryBufMsg{
 			v:        m.queryVersion,
 			consumer: m.consumer,
-		})
+		}
+		t.fe.sendToOVT(t.node, int(m.queryVersion.OVT), qm)
 		return cost
 	}
 	op := &r.ops[m.producer.Index]
 	if !t.fe.cfg.Chaining {
 		op.consumers = append(op.consumers, m.consumer)
 		if op.dir == taskmodel.In && op.dataDone {
-			t.fe.sendToTRS(t.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
-				op: m.consumer, buf: op.buf,
-			})
+			t.sendDataReady(int(m.consumer.Task.TRS), m.consumer, op.buf, false)
 		}
 		return cost
 	}
 	if op.dir == taskmodel.In && op.dataDone {
 		// Data already flowed through this reader: forward directly.
-		t.fe.sendToTRS(t.node, int(m.consumer.Task.TRS), trsDataReadyMsg{
-			op: m.consumer, buf: op.buf,
-		})
+		t.sendDataReady(int(m.consumer.Task.TRS), m.consumer, op.buf, false)
 		return cost
 	}
 	op.next = m.consumer
@@ -321,17 +337,24 @@ func (t *trsModule) handleDataReady(m trsDataReadyMsg) sim.Cycle {
 	return cost
 }
 
+// sendDataReady ships one pooled readiness notification to a consumer TRS.
+func (t *trsModule) sendDataReady(trsIdx int, op OperandID, buf uint64, output bool) {
+	dm := t.fe.pools.dataReady.get()
+	*dm = trsDataReadyMsg{op: op, buf: buf, output: output}
+	t.fe.sendToTRS(t.node, trsIdx, dm)
+}
+
 // forward passes an input-data-ready notification to the next consumer in
 // the chain (or to every registered consumer in the ablation mode).
 func (t *trsModule) forward(op *opRec, buf uint64) {
 	if t.fe.cfg.Chaining {
 		if op.hasNext {
-			t.fe.sendToTRS(t.node, int(op.next.Task.TRS), trsDataReadyMsg{op: op.next, buf: buf})
+			t.sendDataReady(int(op.next.Task.TRS), op.next, buf, false)
 		}
 		return
 	}
 	for _, c := range op.consumers {
-		t.fe.sendToTRS(t.node, int(c.Task.TRS), trsDataReadyMsg{op: c, buf: buf})
+		t.sendDataReady(int(c.Task.TRS), c, buf, false)
 	}
 	op.consumers = nil
 }
@@ -386,7 +409,9 @@ func (t *trsModule) handleFinished(m trsTaskFinishedMsg) sim.Cycle {
 			op.dataDone = true
 			t.forward(op, op.buf)
 		}
-		t.fe.sendToOVT(t.node, int(op.version.OVT), ovtDecUseMsg{v: op.version})
+		du := t.fe.pools.decUse.get()
+		*du = ovtDecUseMsg{v: op.version}
+		t.fe.sendToOVT(t.node, int(op.version.OVT), du)
 	}
 	// Free the task storage.
 	t.slots[m.id.Slot] = nil
@@ -408,7 +433,9 @@ func (t *trsModule) handleFinished(m trsTaskFinishedMsg) sim.Cycle {
 	}
 	if t.reportedFull && len(t.deferred) == 0 && t.freeBlocks >= blocksForOperands(MaxOperands) {
 		t.reportedFull = false
-		t.fe.sendToGW(t.node, gwSpaceFreedMsg{trs: t.index})
+		sf := t.fe.pools.spaceFreed.get()
+		*sf = gwSpaceFreedMsg{trs: t.index}
+		t.fe.sendToGW(t.node, sf)
 	}
 	return cost
 }

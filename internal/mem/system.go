@@ -93,6 +93,11 @@ type System struct {
 	// Optional line-granular models for validation/ablation.
 	l1Lines []*SetAssocCache
 
+	// freeEv recycles the typed events that drive the multi-stage fetch
+	// and writeback protocols, so burst traffic does not allocate per
+	// protocol step.
+	freeEv *memEvent
+
 	// Stats.
 	fetches       uint64
 	l1ObjHits     uint64
@@ -217,6 +222,100 @@ func (m *System) evictLRU(core int) {
 	}
 }
 
+// memEvent drives the staged fetch and writeback protocols as one pooled
+// object with a kind tag, advancing kind at each protocol step instead of
+// nesting closures.
+type memEvent struct {
+	m    *System
+	kind uint8
+	core int32
+	base uint64
+	size uint32
+	then func()
+	next *memEvent
+}
+
+const (
+	evFetchReq     uint8 = iota // request arrived at the home bank
+	evFetchData                 // data available in L2: charge L2 latency
+	evFetchBurst                // start the data burst bank -> core
+	evFetchInstall              // burst arrived: install and complete
+	evWriteback                 // writeback burst arrived at the bank
+)
+
+func (m *System) getEvent(kind uint8, core int, base uint64, size uint32, then func()) *memEvent {
+	ev := m.freeEv
+	if ev == nil {
+		ev = &memEvent{m: m}
+	} else {
+		m.freeEv = ev.next
+		ev.next = nil
+	}
+	ev.kind, ev.core, ev.base, ev.size, ev.then = kind, int32(core), base, size, then
+	return ev
+}
+
+func (m *System) putEvent(ev *memEvent) {
+	ev.then = nil
+	ev.next = m.freeEv
+	m.freeEv = ev
+}
+
+func (ev *memEvent) Fire() {
+	m := ev.m
+	switch ev.kind {
+	case evFetchReq:
+		e := m.entry(ev.base, ev.size)
+		switch {
+		case e.owner >= 0 && e.owner != ev.core:
+			// Dirty in another L1: recall it first (cold path — the
+			// recall round trip stays closure-based).
+			owner := e.owner
+			e.owner = -1
+			e.inL2 = true
+			m.writebacks++
+			bank := m.BankNode(ev.base)
+			base := ev.base
+			m.net.Send(bank, m.coreNodes[owner], m.cfg.CtrlBytes, func() {
+				if o, ok := m.l1[owner].objs[base]; ok {
+					o.dirty = false
+				}
+				ev.kind = evFetchData
+				m.net.SendEvent(m.coreNodes[owner], bank, ev.size, ev)
+			})
+		case e.inL2:
+			ev.kind = evFetchData
+			ev.Fire()
+		default:
+			// First touch: bring the object from DRAM into L2.
+			done := m.dram.Transfer(ev.base, ev.size)
+			e.inL2 = true
+			ev.kind = evFetchData
+			m.eng.ScheduleEventAt(done, ev)
+		}
+	case evFetchData:
+		// L2 access latency, then data burst bank -> core.
+		ev.kind = evFetchBurst
+		m.eng.ScheduleEvent(m.cfg.L2Latency, ev)
+	case evFetchBurst:
+		n := m.transferBytes(int(ev.core), ev.base, ev.size)
+		m.bytesMoved += uint64(n)
+		ev.kind = evFetchInstall
+		m.net.SendEvent(m.BankNode(ev.base), m.coreNodes[ev.core], n, ev)
+	case evFetchInstall:
+		m.install(int(ev.core), ev.base, ev.size, false)
+		then := ev.then
+		m.putEvent(ev)
+		if then != nil {
+			then()
+		}
+	case evWriteback:
+		then := ev.then
+		m.putEvent(ev)
+		m.eng.Schedule(m.cfg.L2Latency, then)
+	}
+}
+
 // Fetch acquires a read (shared) copy of the object into core's L1 and
 // calls then when the data has arrived.
 func (m *System) Fetch(core int, base uint64, size uint32, then func()) {
@@ -224,49 +323,15 @@ func (m *System) Fetch(core int, base uint64, size uint32, then func()) {
 		then = func() {}
 	}
 	m.fetches++
-	e := m.entry(base, size)
+	m.entry(base, size)
 	if m.resident(core, base) {
 		m.l1ObjHits++
 		m.eng.Schedule(m.cfg.L1Latency, then)
 		return
 	}
-	bank := m.BankNode(base)
-	coreNode := m.coreNodes[core]
-	deliver := func() {
-		// L2 access latency, then data burst bank -> core.
-		m.eng.Schedule(m.cfg.L2Latency, func() {
-			n := m.transferBytes(core, base, size)
-			m.bytesMoved += uint64(n)
-			m.net.Send(bank, coreNode, n, func() {
-				m.install(core, base, size, false)
-				then()
-			})
-		})
-	}
 	// Request message to the home bank.
-	m.net.Send(coreNode, bank, m.cfg.CtrlBytes, func() {
-		switch {
-		case e.owner >= 0 && e.owner != int32(core):
-			// Dirty in another L1: recall it first.
-			owner := e.owner
-			e.owner = -1
-			e.inL2 = true
-			m.writebacks++
-			m.net.Send(bank, m.coreNodes[owner], m.cfg.CtrlBytes, func() {
-				if o, ok := m.l1[owner].objs[base]; ok {
-					o.dirty = false
-				}
-				m.net.Send(m.coreNodes[owner], bank, size, deliver)
-			})
-		case e.inL2:
-			deliver()
-		default:
-			// First touch: bring the object from DRAM into L2.
-			done := m.dram.Transfer(base, size)
-			e.inL2 = true
-			m.eng.ScheduleAt(done, deliver)
-		}
-	})
+	ev := m.getEvent(evFetchReq, core, base, size, then)
+	m.net.SendEvent(m.coreNodes[core], m.BankNode(base), m.cfg.CtrlBytes, ev)
 }
 
 // transferBytes returns how many bytes must actually move for core to have
@@ -391,9 +456,8 @@ func (m *System) Writeback(core int, base uint64, size uint32, then func()) {
 	e.inL2 = true
 	m.writebacks++
 	m.bytesMoved += uint64(size)
-	m.net.Send(m.coreNodes[core], m.BankNode(base), size, func() {
-		m.eng.Schedule(m.cfg.L2Latency, then)
-	})
+	ev := m.getEvent(evWriteback, core, base, size, then)
+	m.net.SendEvent(m.coreNodes[core], m.BankNode(base), size, ev)
 }
 
 // Copy performs a DMA copy between two objects (rename-buffer copy-back):

@@ -42,6 +42,10 @@ type Network struct {
 	bridgeStops  []int    // global stop of each local ring's bridge
 	messages     uint64
 	totalLatency sim.Cycle
+
+	// freeHop is the network-owned free list of multi-hop relay events;
+	// bridged sends recycle through it instead of nesting closures.
+	freeHop *hopEvent
 }
 
 // NewNetwork creates a network; attach nodes with AddCore / AddGlobalNode,
@@ -128,58 +132,156 @@ func (n *Network) Build() {
 // bridgeLocalStop is the local-ring stop index used by the bridge.
 func (n *Network) bridgeLocalStop() int { return n.coresPerRing }
 
-// Send moves a message of the given size from one node to another and
-// schedules then at arrival. It returns the arrival cycle for observability.
-func (n *Network) Send(from, to NodeID, bytes uint32, then func()) sim.Cycle {
+// hopEvent relays one message across the ring hops of a bridged route. One
+// pooled instance carries the whole journey: each Fire reserves the next
+// hop and reschedules itself at that hop's arrival; the final Fire records
+// latency, recycles the event, and performs the completion action.
+type hopEvent struct {
+	net    *Network
+	bytes  uint32
+	sent   sim.Cycle
+	stage  int8
+	stages int8
+	rings  [3]*Ring
+	froms  [3]int
+	tos    [3]int
+
+	// Completion action: exactly one of sink (+m), ev, fn is set.
+	sink sim.Sink
+	m    any
+	ev   sim.Event
+	fn   func()
+
+	next *hopEvent
+}
+
+func (h *hopEvent) Fire() {
+	if h.stage < h.stages {
+		i := h.stage
+		h.stage++
+		h.rings[i].TransferEvent(h.froms[i], h.tos[i], h.bytes, h)
+		return
+	}
+	net := h.net
+	net.totalLatency += net.eng.Now() - h.sent
+	sink, m, ev, fn := h.sink, h.m, h.ev, h.fn
+	h.sink, h.m, h.ev, h.fn = nil, nil, nil, nil
+	h.next = net.freeHop
+	net.freeHop = h
+	switch {
+	case sink != nil:
+		sink.Submit(m)
+	case ev != nil:
+		ev.Fire()
+	case fn != nil:
+		fn()
+	}
+}
+
+func (n *Network) getHop(bytes uint32) *hopEvent {
+	h := n.freeHop
+	if h == nil {
+		h = &hopEvent{net: n}
+	} else {
+		n.freeHop = h.next
+		h.next = nil
+	}
+	h.bytes = bytes
+	h.sent = n.eng.Now()
+	h.stage = 0
+	h.stages = 0
+	return h
+}
+
+func (h *hopEvent) addHop(r *Ring, from, to int) {
+	h.rings[h.stages] = r
+	h.froms[h.stages] = from
+	h.tos[h.stages] = to
+	h.stages++
+}
+
+// send is the shared transport core behind Send, SendEvent and SendMsg.
+// Exactly one completion action (sink+m, ev, or fn) may be set; all are
+// performed at tail arrival. Ring-resident routes complete through the
+// engine's allocation-free scheduling paths; bridged routes relay through a
+// pooled hopEvent. The returned arrival cycle is 0 for bridged routes,
+// where it is only known once the last hop is reserved.
+func (n *Network) send(from, to NodeID, bytes uint32, sink sim.Sink, m any, ev sim.Event, fn func()) sim.Cycle {
 	if !n.built {
 		panic("noc: Send before Build")
 	}
 	nf, nt := n.nodes[from], n.nodes[to]
 	n.messages++
 	sent := n.eng.Now()
-	finish := func(arrival sim.Cycle) sim.Cycle {
+
+	// Single-ring routes: reserve now, schedule the completion directly.
+	if single := n.singleRing(&nf, &nt); single != nil {
+		sf, st := n.ringStops(&nf, &nt)
+		var arrival sim.Cycle
+		switch {
+		case sink != nil:
+			arrival = single.TransferDeliver(sf, st, bytes, sink, m)
+		case ev != nil:
+			arrival = single.TransferEvent(sf, st, bytes, ev)
+		default:
+			arrival = single.Transfer(sf, st, bytes, fn)
+		}
 		n.totalLatency += arrival - sent
 		return arrival
 	}
+
+	// Bridged routes: relay via a pooled hop event.
+	h := n.getHop(bytes)
+	h.sink, h.m, h.ev, h.fn = sink, m, ev, fn
+	if nf.kind == kindCore {
+		h.addHop(n.locals[nf.localRing], nf.localStop, n.bridgeLocalStop())
+	}
+	h.addHop(n.global, nf.globalStop, nt.globalStop)
+	if nt.kind == kindCore {
+		h.addHop(n.locals[nt.localRing], n.bridgeLocalStop(), nt.localStop)
+	}
+	h.Fire() // reserves hop 0 immediately, as the closure chain used to
+	return 0
+}
+
+// singleRing returns the one ring a message traverses, or nil for bridged
+// routes.
+func (n *Network) singleRing(nf, nt *node) *Ring {
 	switch {
 	case nf.kind == kindCore && nt.kind == kindCore && nf.localRing == nt.localRing:
-		return finish(n.locals[nf.localRing].Transfer(nf.localStop, nt.localStop, bytes, then))
+		return n.locals[nf.localRing]
 	case nf.kind == kindGlobal && nt.kind == kindGlobal:
-		return finish(n.global.Transfer(nf.globalStop, nt.globalStop, bytes, then))
-	case nf.kind == kindCore && nt.kind == kindGlobal:
-		// Local ring to bridge, then global ring to destination.
-		n.locals[nf.localRing].Transfer(nf.localStop, n.bridgeLocalStop(), bytes, func() {
-			n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
-				finish(n.eng.Now())
-				if then != nil {
-					then()
-				}
-			})
-		})
-		return 0 // exact arrival known only after hop 2; stats via callback
-	case nf.kind == kindGlobal && nt.kind == kindCore:
-		n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
-			n.locals[nt.localRing].Transfer(n.bridgeLocalStop(), nt.localStop, bytes, func() {
-				finish(n.eng.Now())
-				if then != nil {
-					then()
-				}
-			})
-		})
-		return 0
-	default: // core to core across rings: local, global, local
-		n.locals[nf.localRing].Transfer(nf.localStop, n.bridgeLocalStop(), bytes, func() {
-			n.global.Transfer(nf.globalStop, nt.globalStop, bytes, func() {
-				n.locals[nt.localRing].Transfer(n.bridgeLocalStop(), nt.localStop, bytes, func() {
-					finish(n.eng.Now())
-					if then != nil {
-						then()
-					}
-				})
-			})
-		})
-		return 0
+		return n.global
 	}
+	return nil
+}
+
+// ringStops returns the stops used on a single-ring route.
+func (n *Network) ringStops(nf, nt *node) (from, to int) {
+	if nf.kind == kindCore {
+		return nf.localStop, nt.localStop
+	}
+	return nf.globalStop, nt.globalStop
+}
+
+// Send moves a message of the given size from one node to another and
+// schedules then at arrival. It returns the arrival cycle for observability
+// (0 on bridged routes, where arrival is known only via the callback).
+func (n *Network) Send(from, to NodeID, bytes uint32, then func()) sim.Cycle {
+	return n.send(from, to, bytes, nil, nil, nil, then)
+}
+
+// SendEvent is Send with a typed completion event: ev fires at arrival with
+// no per-message allocation.
+func (n *Network) SendEvent(from, to NodeID, bytes uint32, ev sim.Event) sim.Cycle {
+	return n.send(from, to, bytes, nil, nil, ev, nil)
+}
+
+// SendMsg delivers m to sink when the message arrives. With a pooled or
+// pointer-typed m this is the zero-allocation transport used by all
+// frontend and backend protocol traffic.
+func (n *Network) SendMsg(from, to NodeID, bytes uint32, sink sim.Sink, m any) sim.Cycle {
+	return n.send(from, to, bytes, sink, m, nil, nil)
 }
 
 // Messages returns the number of Send calls completed or in flight.

@@ -45,6 +45,11 @@ type Ring struct {
 	// virtual channels), and the frontend protocol depends on it.
 	lastArrival map[int]sim.Cycle
 
+	// Reservation scratch, reused across transfers so the hot path does
+	// not allocate.
+	segScratch  []int
+	slotScratch []int
+
 	// Stats.
 	transfers uint64
 	bytes     uint64
@@ -102,6 +107,33 @@ func (r *Ring) serCycles(bytes uint32) sim.Cycle {
 // tail arrives. It returns the scheduled arrival cycle. Same-stop transfers
 // only pay the router overhead.
 func (r *Ring) Transfer(from, to int, bytes uint32, then func()) sim.Cycle {
+	arrival := r.Reserve(from, to, bytes)
+	if then != nil {
+		r.eng.ScheduleAt(arrival, then)
+	}
+	return arrival
+}
+
+// TransferEvent is Transfer with a typed completion event: ev fires at
+// arrival through the engine's allocation-free event path.
+func (r *Ring) TransferEvent(from, to int, bytes uint32, ev sim.Event) sim.Cycle {
+	arrival := r.Reserve(from, to, bytes)
+	r.eng.ScheduleEventAt(arrival, ev)
+	return arrival
+}
+
+// TransferDeliver is Transfer that hands m to sink at arrival through the
+// engine's pooled delivery events.
+func (r *Ring) TransferDeliver(from, to int, bytes uint32, sink sim.Sink, m any) sim.Cycle {
+	arrival := r.Reserve(from, to, bytes)
+	r.eng.ScheduleDeliverAt(arrival, sink, m)
+	return arrival
+}
+
+// Reserve books the segment occupancy for one message and returns its
+// arrival cycle without scheduling anything; the caller decides how the
+// arrival is acted upon. Same-stop transfers only pay the router overhead.
+func (r *Ring) Reserve(from, to int, bytes uint32) sim.Cycle {
 	if from < 0 || from >= r.stops || to < 0 || to >= r.stops {
 		panic(fmt.Sprintf("noc: %s: transfer %d->%d outside [0,%d)", r.name, from, to, r.stops))
 	}
@@ -109,18 +141,8 @@ func (r *Ring) Transfer(from, to int, bytes uint32, then func()) sim.Cycle {
 	ser := r.serCycles(bytes)
 	dir, hops := r.route(from, to)
 	fifoKey := from*r.stops + to
-	clampFIFO := func(arrival sim.Cycle) sim.Cycle {
-		if last := r.lastArrival[fifoKey]; arrival <= last {
-			arrival = last + 1
-		}
-		r.lastArrival[fifoKey] = arrival
-		return arrival
-	}
 	if hops == 0 {
-		arrival := clampFIFO(now + r.cfg.RouterOver)
-		if then != nil {
-			r.eng.ScheduleAt(arrival, then)
-		}
+		arrival := r.clampFIFO(fifoKey, now+r.cfg.RouterOver)
 		r.transfers++
 		r.bytes += uint64(bytes)
 		return arrival
@@ -129,15 +151,21 @@ func (r *Ring) Transfer(from, to int, bytes uint32, then func()) sim.Cycle {
 	// start + i*hop and holds it for ser cycles. Find the earliest start
 	// such that every traversed segment has a free connection slot.
 	start := now + r.cfg.RouterOver
-	segs := make([]int, hops)
+	segs := r.segScratch[:0]
 	for i := 0; i < hops; i++ {
 		if dir == 0 {
-			segs[i] = (from + i) % r.stops
+			segs = append(segs, (from+i)%r.stops)
 		} else {
-			segs[i] = (from - 1 - i + 2*r.stops) % r.stops
+			segs = append(segs, (from-1-i+2*r.stops)%r.stops)
 		}
 	}
-	slots := make([]int, hops)
+	r.segScratch = segs
+	slots := r.slotScratch
+	if cap(slots) < hops {
+		slots = make([]int, hops)
+		r.slotScratch = slots
+	}
+	slots = slots[:hops]
 	for i := 0; i < hops; i++ {
 		enter := start + sim.Cycle(i)*r.cfg.HopCycles
 		slot, free := r.earliestSlot(dir, segs[i])
@@ -154,13 +182,19 @@ func (r *Ring) Transfer(from, to int, bytes uint32, then func()) sim.Cycle {
 		enter := start + sim.Cycle(i)*r.cfg.HopCycles
 		r.segBusy[dir][s][slots[i]] = enter + ser
 	}
-	arrival := clampFIFO(start + sim.Cycle(hops)*r.cfg.HopCycles + ser)
+	arrival := r.clampFIFO(fifoKey, start+sim.Cycle(hops)*r.cfg.HopCycles+ser)
 	r.waitTotal += start - (now + r.cfg.RouterOver)
 	r.transfers++
 	r.bytes += uint64(bytes)
-	if then != nil {
-		r.eng.ScheduleAt(arrival, then)
+	return arrival
+}
+
+// clampFIFO enforces in-order delivery per (from,to) route.
+func (r *Ring) clampFIFO(fifoKey int, arrival sim.Cycle) sim.Cycle {
+	if last := r.lastArrival[fifoKey]; arrival <= last {
+		arrival = last + 1
 	}
+	r.lastArrival[fifoKey] = arrival
 	return arrival
 }
 

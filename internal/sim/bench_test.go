@@ -1,31 +1,29 @@
-package sim
+package sim_test
 
-import "testing"
+// The benchmark bodies live in internal/benchsuite, shared with
+// `tsbench -benchjson` so the committed BENCH_engine.json trajectory
+// measures exactly the same code.
 
-// BenchmarkEngineScheduleFire measures raw event throughput.
-func BenchmarkEngineScheduleFire(b *testing.B) {
-	e := NewEngine()
-	for i := 0; i < b.N; i++ {
-		e.Schedule(Cycle(i%64), func() {})
-		if i%1024 == 1023 {
-			e.Run()
-		}
-	}
-	e.Run()
-}
+import (
+	"testing"
+
+	"tasksuperscalar/internal/benchsuite"
+)
+
+// BenchmarkEngineScheduleFire measures raw near-horizon event throughput.
+func BenchmarkEngineScheduleFire(b *testing.B) { benchsuite.EngineScheduleFire(b) }
+
+// BenchmarkEngineSchedulePop interleaves one schedule with one pop — the
+// engine's steady-state rhythm.
+func BenchmarkEngineSchedulePop(b *testing.B) { benchsuite.EngineSchedulePop(b) }
+
+// BenchmarkEngineMixedHorizons mixes calendar-window events with
+// far-horizon (task-runtime) events.
+func BenchmarkEngineMixedHorizons(b *testing.B) { benchsuite.EngineMixedHorizons(b) }
+
+// BenchmarkEngineChurn1M measures schedule/pop against a standing
+// population of one million in-flight events.
+func BenchmarkEngineChurn1M(b *testing.B) { benchsuite.EngineChurn1M(b) }
 
 // BenchmarkServerPipeline measures serial-server message processing.
-func BenchmarkServerPipeline(b *testing.B) {
-	e := NewEngine()
-	srv := NewServer(e, "bench", func(int) Cycle { return 16 })
-	for i := 0; i < b.N; i++ {
-		srv.Submit(i)
-		if i%1024 == 1023 {
-			e.Run()
-		}
-	}
-	e.Run()
-	if srv.Served() != uint64(b.N) {
-		b.Fatalf("served %d of %d", srv.Served(), b.N)
-	}
-}
+func BenchmarkServerPipeline(b *testing.B) { benchsuite.ServerPipeline(b) }

@@ -5,46 +5,50 @@
 // two events scheduled for the same cycle always fire in the order they were
 // scheduled. All timing in the repository is expressed in core clock cycles
 // of the simulated 3.2 GHz CMP (see Table II of the paper).
+//
+// Events come in two representations. Closure events (Schedule/ScheduleAt)
+// are the convenient general form. Typed events (ScheduleEvent and the
+// pooled ScheduleDeliver) exist for hot paths: the pending-event set stores
+// plain structs in calendar-queue buckets, so scheduling a prebuilt closure
+// or a pooled Event performs no allocation at all — see docs/ARCHITECTURE.md
+// for the invariants hot senders rely on.
 package sim
-
-import "container/heap"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle = uint64
 
-// event is a closure scheduled to fire at a given cycle. seq breaks ties so
-// that same-cycle events fire in schedule order (determinism).
-type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+// Event is a typed simulation event: an object fired by the engine at its
+// scheduled cycle. Implementations that are pooled must recycle themselves
+// inside Fire (the engine drops its reference before calling it).
+type Event interface {
+	Fire()
 }
 
-type eventHeap []event
+// Sink consumes simulation messages at delivery time. Server[any]
+// implements it, which lets the NoC hand a message straight to a module's
+// input queue through a pooled delivery event instead of a fresh closure.
+type Sink interface {
+	Submit(m any)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// FuncEvent adapts a closure to Event for call sites that take an Event but
+// sit on cold paths where a per-use allocation is acceptable.
+type FuncEvent func()
+
+// Fire implements Event.
+func (f FuncEvent) Fire() { f() }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	pq   eventHeap
+	q    calQueue
 	now  Cycle
 	seq  uint64
 	fire uint64 // events fired, for diagnostics
+
+	// freeDeliver is the engine-owned free list (deliberately not a
+	// sync.Pool: engines are single-threaded and pool hits must be
+	// allocation- and lock-free) backing ScheduleDeliver.
+	freeDeliver *deliverEvent
 }
 
 // NewEngine returns an engine with its clock at cycle zero.
@@ -57,14 +61,14 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Fired() uint64 { return e.fire }
 
 // Pending returns the number of scheduled events that have not yet fired.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Schedule arranges for fn to run delay cycles from now. A zero delay runs
 // fn later in the current cycle, after all previously scheduled work for
 // this cycle.
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.q.schedule(cell{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // ScheduleAt arranges for fn to run at the given absolute cycle. Scheduling
@@ -75,19 +79,84 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	e.q.schedule(cell{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleEvent arranges for ev.Fire to run delay cycles from now, without
+// allocating: the event reference is stored directly in the queue cell.
+func (e *Engine) ScheduleEvent(delay Cycle, ev Event) {
+	e.seq++
+	e.q.schedule(cell{at: e.now + delay, seq: e.seq, ev: ev})
+}
+
+// ScheduleEventAt is ScheduleEvent with an absolute cycle, clamped to the
+// present like ScheduleAt.
+func (e *Engine) ScheduleEventAt(at Cycle, ev Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.q.schedule(cell{at: at, seq: e.seq, ev: ev})
+}
+
+// deliverEvent carries one message to a sink; instances are recycled
+// through the engine's free list, so steady-state delivery does not
+// allocate.
+type deliverEvent struct {
+	eng  *Engine
+	sink Sink
+	m    any
+	next *deliverEvent
+}
+
+// Fire recycles the event before submitting, so the sink's handler may
+// immediately schedule further deliveries through the same free list.
+func (d *deliverEvent) Fire() {
+	sink, m := d.sink, d.m
+	d.sink, d.m = nil, nil
+	d.next = d.eng.freeDeliver
+	d.eng.freeDeliver = d
+	sink.Submit(m)
+}
+
+func (e *Engine) getDeliver(sink Sink, m any) *deliverEvent {
+	d := e.freeDeliver
+	if d == nil {
+		d = &deliverEvent{eng: e}
+	} else {
+		e.freeDeliver = d.next
+		d.next = nil
+	}
+	d.sink = sink
+	d.m = m
+	return d
+}
+
+// ScheduleDeliver submits m to sink delay cycles from now through a pooled
+// delivery event (no closure, no allocation in steady state).
+func (e *Engine) ScheduleDeliver(delay Cycle, sink Sink, m any) {
+	e.ScheduleEvent(delay, e.getDeliver(sink, m))
+}
+
+// ScheduleDeliverAt is ScheduleDeliver with an absolute cycle.
+func (e *Engine) ScheduleDeliverAt(at Cycle, sink Sink, m any) {
+	e.ScheduleEventAt(at, e.getDeliver(sink, m))
 }
 
 // Step fires the next event, advancing the clock to its timestamp.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	c, ok := e.q.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
-	e.now = ev.at
+	e.now = c.at
 	e.fire++
-	ev.fn()
+	if c.ev != nil {
+		c.ev.Fire()
+	} else {
+		c.fn()
+	}
 	return true
 }
 
@@ -98,17 +167,18 @@ func (e *Engine) Run() Cycle {
 	return e.now
 }
 
-// RunUntil fires events with timestamps <= limit and returns the clock,
-// which will not exceed limit.
+// RunUntil fires events with timestamps <= limit and then advances the
+// clock to limit (when it has not already passed it), whether or not events
+// remain beyond the horizon. The returned clock never exceeds limit.
 func (e *Engine) RunUntil(limit Cycle) Cycle {
-	for len(e.pq) > 0 && e.pq[0].at <= limit {
+	for {
+		at, ok := e.q.peekAt()
+		if !ok || at > limit {
+			break
+		}
 		e.Step()
 	}
-	if e.now < limit && len(e.pq) == 0 {
-		// Nothing left; clock stays where the last event fired.
-		return e.now
-	}
-	if e.now > limit {
+	if e.now < limit {
 		e.now = limit
 	}
 	return e.now

@@ -81,6 +81,36 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// Regression: after draining all events at or below the limit, the clock
+// must advance to the limit — both when later events remain pending and
+// when the queue is empty — so RunFor windows stack without drift.
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Schedule(500, func() {})
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("RunUntil(100) = %d with events pending, want 100", got)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d after RunUntil(100), want 100", e.Now())
+	}
+	// A relative schedule now counts from the horizon, not the last event.
+	fired := Cycle(0)
+	e.Schedule(10, func() { fired = e.Now() })
+	e.RunUntil(400)
+	if fired != 110 {
+		t.Fatalf("event scheduled after RunUntil fired at %d, want 110", fired)
+	}
+	if e.Now() != 400 {
+		t.Fatalf("Now() = %d after RunUntil(400), want 400", e.Now())
+	}
+	// Empty queue: the clock still advances to the limit.
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %d after draining RunUntil(1000), want 1000", e.Now())
+	}
+}
+
 func TestScheduleAtPastClamps(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(20, func() {
@@ -182,6 +212,116 @@ func TestServerQueueStats(t *testing.T) {
 	e.Run()
 	if srv.QueueLen() != 0 {
 		t.Fatalf("QueueLen() = %d after drain, want 0", srv.QueueLen())
+	}
+}
+
+// refEvent mirrors one scheduled event for the reference ordering.
+type refEvent struct {
+	at  Cycle
+	seq uint64
+	id  int
+}
+
+// Property: the calendar queue pops in exactly the (at, seq) order of a
+// reference sort, for arbitrary interleavings of near-window, far-horizon
+// and same-cycle schedules — including schedules issued from inside fired
+// events (which is how the rebasing and scan-rewind paths get exercised).
+func TestCalendarQueueMatchesReference(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%512) + 8
+		// Delay menu spans same-cycle bursts, the bucket window, window
+		// boundaries and deep far-heap horizons.
+		delays := []Cycle{0, 1, 3, 16, 22, 100, 1023, 4095, 4096, 4097, 12_000, 100_000, 1 << 21}
+		var ref []refEvent
+		var got []int
+		id := 0
+		var seq uint64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			d := delays[rng.Intn(len(delays))]
+			myID := id
+			id++
+			seq++
+			ref = append(ref, refEvent{at: e.Now() + d, seq: seq, id: myID})
+			e.Schedule(d, func() {
+				got = append(got, myID)
+				// A third of events schedule more work when firing.
+				if depth < 3 && rng.Intn(3) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < count; i++ {
+			schedule(0)
+		}
+		e.Run()
+		if len(got) != len(ref) {
+			return false
+		}
+		// The reference order is computed incrementally: events appended
+		// during execution carry the at/seq observed at schedule time, so
+		// a stable (at, seq) sort reproduces the contract exactly.
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].at != ref[j].at {
+				return ref[i].at < ref[j].at
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		for i := range ref {
+			if got[i] != ref[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The steady-state schedule/pop path must not allocate: closure cells and
+// typed events are stored directly in calendar buckets, and delivery events
+// recycle through the engine's free list.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	fn := func() { count++ }
+	sink := NewServer(e, "sink", func(any) Cycle { return 4 })
+	// Warm bucket storage (every slot of the calendar ring), free lists
+	// and server queues — the state any engine reaches moments into a run.
+	for i := 0; i < 2*int(calWindow); i++ {
+		e.Schedule(Cycle(i), fn)
+		if i%16 == 0 {
+			e.ScheduleDeliver(Cycle(i), sink, 7)
+		}
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(500, func() {
+		e.Schedule(3, fn)
+		e.Schedule(250, fn)
+		e.ScheduleDeliver(17, sink, 7)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("steady-state schedule/pop allocated %.1f times per run, want 0", avg)
+	}
+}
+
+// SubmitAfter recycles its carrier events, so repeated deferred submits do
+// not allocate either.
+func TestServerSubmitAfterZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "u", func(int) Cycle { return 2 })
+	for i := 0; i < 2*int(calWindow); i++ {
+		srv.SubmitAfter(Cycle(i), 1)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(500, func() {
+		srv.SubmitAfter(9, 1)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("SubmitAfter allocated %.1f times per run, want 0", avg)
 	}
 }
 

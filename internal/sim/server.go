@@ -9,6 +9,11 @@ package sim
 // captures exactly that: Submit enqueues work, the handler returns the
 // service time, and the server stays busy for that long before dequeuing the
 // next message.
+//
+// The input queue is a head-indexed slice that reuses its backing array, and
+// dispatch is rescheduled through a closure built once at construction, so a
+// warm server enqueues and services messages without allocating. Server[any]
+// satisfies Sink, which lets the NoC deliver straight into the queue.
 type Server[M any] struct {
 	eng  *Engine
 	name string
@@ -16,6 +21,10 @@ type Server[M any] struct {
 
 	busy  bool
 	queue []M
+	head  int
+
+	dispatchFn func()          // prebuilt; every reschedule reuses it
+	freeSub    *submitEvent[M] // free list backing SubmitAfter
 
 	// Stats.
 	served    uint64
@@ -27,7 +36,9 @@ type Server[M any] struct {
 // NewServer creates a serial server driven by eng. handler processes one
 // message and returns the number of cycles the unit is occupied by it.
 func NewServer[M any](eng *Engine, name string, handler func(M) Cycle) *Server[M] {
-	return &Server[M]{eng: eng, name: name, h: handler}
+	s := &Server[M]{eng: eng, name: name, h: handler}
+	s.dispatchFn = s.dispatch
+	return s
 }
 
 // Name returns the diagnostic name of the server.
@@ -37,37 +48,70 @@ func (s *Server[M]) Name() string { return s.name }
 // order; the handler for a message runs when the unit becomes free.
 func (s *Server[M]) Submit(m M) {
 	s.queue = append(s.queue, m)
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
+	if n := len(s.queue) - s.head; n > s.maxQueue {
+		s.maxQueue = n
 	}
 	if !s.busy {
 		s.busy = true
-		s.eng.Schedule(0, s.dispatch)
+		s.eng.Schedule(0, s.dispatchFn)
 	}
+}
+
+// submitEvent defers one message across a transit delay; instances recycle
+// through the owning server's free list.
+type submitEvent[M any] struct {
+	s    *Server[M]
+	m    M
+	next *submitEvent[M]
+}
+
+func (ev *submitEvent[M]) Fire() {
+	s, m := ev.s, ev.m
+	var zero M
+	ev.m = zero
+	ev.next = s.freeSub
+	s.freeSub = ev
+	s.Submit(m)
 }
 
 // SubmitAfter enqueues a message after a transit delay (e.g. NoC latency).
 func (s *Server[M]) SubmitAfter(delay Cycle, m M) {
-	s.eng.Schedule(delay, func() { s.Submit(m) })
+	ev := s.freeSub
+	if ev == nil {
+		ev = &submitEvent[M]{s: s}
+	} else {
+		s.freeSub = ev.next
+		ev.next = nil
+	}
+	ev.m = m
+	s.eng.ScheduleEvent(delay, ev)
 }
 
 func (s *Server[M]) dispatch() {
-	if len(s.queue) == 0 {
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
 		s.busy = false
 		return
 	}
-	m := s.queue[0]
-	s.queue = s.queue[1:]
+	m := s.queue[s.head]
+	var zero M
+	s.queue[s.head] = zero // release the message for GC
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
 	cost := s.h(m)
 	s.served++
 	s.busyTotal += cost
 	s.busyUntil = s.eng.Now() + cost
-	s.eng.Schedule(cost, s.dispatch)
+	s.eng.Schedule(cost, s.dispatchFn)
 }
 
 // QueueLen returns the number of messages waiting (not including the one in
 // service).
-func (s *Server[M]) QueueLen() int { return len(s.queue) }
+func (s *Server[M]) QueueLen() int { return len(s.queue) - s.head }
 
 // Served returns the number of messages fully processed.
 func (s *Server[M]) Served() uint64 { return s.served }
