@@ -11,10 +11,18 @@
 //	tsbench -experiment fig12 -workers 1   # force a serial sweep
 //	tsbench -experiment all -json results.json  # also dump sweep points
 //	tsbench -benchjson BENCH_engine.json   # substrate perf snapshot (JSON)
+//	tsbench -remote http://host:7077 -experiment fig12  # run on a tssd daemon
 //	tsbench -list                      # show available experiments
+//
+// With -remote each experiment is submitted to a tssd daemon (cmd/tssd) as
+// a sweep job: output lines stream back live, repeated identical runs are
+// answered from the daemon's result cache, and -json still collects every
+// sweep point from the returned payloads.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"tasksuperscalar/internal/experiments"
+	"tasksuperscalar/internal/service"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
 		jsonOut = flag.String("json", "", "also write every sweep point to this file as JSON")
 		benchJS = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
+		remote  = flag.String("remote", "", "submit experiments to a tssd daemon at this base URL instead of running locally")
 	)
 	flag.Parse()
 
@@ -68,6 +78,16 @@ func main() {
 	} else {
 		ids = strings.Split(*expID, ",")
 	}
+
+	if *remote != "" {
+		// -workers keeps its meaning remotely: it sizes the sweep's
+		// internal pool, just on the daemon (0 falls back to the
+		// daemon's serial default rather than the client's CPU count).
+		runRemote(*remote, ids, *full, *seed, *cores, *workers, sink)
+		writeSink(sink, *jsonOut)
+		return
+	}
+
 	for _, id := range ids {
 		e, ok := experiments.Get(strings.TrimSpace(id))
 		if !ok {
@@ -83,20 +103,91 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
-	if sink != nil {
-		f, err := os.Create(*jsonOut)
+	writeSink(sink, *jsonOut)
+}
+
+// writeSink dumps the collected sweep points (if any were requested).
+func writeSink(sink *experiments.Sink, jsonOut string) {
+	if sink == nil {
+		return
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+		os.Exit(1)
+	}
+	err = sink.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: writing %s: %v\n", jsonOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweep points written to %s (%d points)\n", jsonOut, len(sink.Points()))
+}
+
+// runRemote submits each experiment to a tssd daemon as a sweep job,
+// printing its output lines as they stream back and recording the returned
+// sweep points into sink (for -json).
+func runRemote(base string, ids []string, full bool, seed int64, cores, sweepWorkers int, sink *experiments.Sink) {
+	ctx := context.Background()
+	cl := service.NewClient(base)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tsbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		st, err := cl.Submit(ctx, &service.JobSpec{
+			Kind: service.KindSweep,
+			Sweep: &service.SweepSpec{
+				Experiment: e.ID, Full: full, Seed: &seed, Cores: cores,
+				Workers: sweepWorkers,
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 			os.Exit(1)
 		}
-		err = sink.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		printed := false
+		if !st.Cached {
+			st, err = cl.Wait(ctx, st.ID, func(ev service.Event) {
+				if ev.Type == "log" {
+					var l struct{ Line string }
+					if json.Unmarshal(ev.Data, &l) == nil {
+						fmt.Println(l.Line)
+						printed = true
+					}
+				}
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+				os.Exit(1)
+			}
+			if st.Status != service.StatusDone {
+				fmt.Fprintf(os.Stderr, "tsbench: %s failed remotely: %s\n", e.ID, st.Error)
+				os.Exit(1)
+			}
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tsbench: writing %s: %v\n", *jsonOut, err)
+		var res service.SweepResult
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: decoding %s result: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("sweep points written to %s (%d points)\n", *jsonOut, len(sink.Points()))
+		if !printed {
+			fmt.Print(res.Output)
+		}
+		for _, p := range res.Points {
+			sink.Record(p.Experiment, p.Labels, p.Values)
+		}
+		suffix := ""
+		if st.Cached {
+			suffix = ", cached"
+		}
+		fmt.Printf("(%s in %.1fs remote%s)\n\n", e.ID, time.Since(start).Seconds(), suffix)
 	}
 }

@@ -1,0 +1,84 @@
+// tssd is the task superscalar simulation daemon: a long-running HTTP/JSON
+// service that runs simulation and experiment-sweep jobs on a bounded worker
+// pool and answers repeated identical submissions from a content-addressed
+// result cache (deterministic runs make cached results exact, not
+// approximate).
+//
+// Usage:
+//
+//	tssd                                  # listen on :7077
+//	tssd -addr :8080 -workers 8           # custom port, 8 concurrent jobs
+//	tssd -cache-entries 4096 -cache-mb 256
+//
+// Submit a job:
+//
+//	curl -s localhost:7077/v1/jobs -d '{"kind":"sim","sim":{"workload":"cholesky","tasks":3000}}'
+//	curl -N localhost:7077/v1/jobs/job-1/events      # live SSE progress
+//	curl -s localhost:7077/v1/jobs/job-1/result      # canonical result JSON
+//	curl -s localhost:7077/stats                     # cache + pool counters
+//
+// The full API is documented in docs/SERVICE.md. cmd/tssim and cmd/tsbench
+// can target a daemon with -remote instead of simulating locally.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tasksuperscalar/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queueDepth   = flag.Int("queue", 1024, "max queued jobs before submits get 503")
+		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
+		cacheMB      = flag.Int("cache-mb", 64, "result cache size bound (MiB)")
+		maxJobs      = flag.Int("max-jobs", 4096, "job records retained; oldest finished jobs are evicted beyond this")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   int64(*cacheMB) << 20,
+		MaxJobs:      *maxJobs,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("tssd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	log.Printf("tssd: listening on %s (%s)", *addr, poolDesc(*workers))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "tssd: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+func poolDesc(workers int) string {
+	if workers <= 0 {
+		return "one worker per CPU"
+	}
+	return fmt.Sprintf("%d workers", workers)
+}

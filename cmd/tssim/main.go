@@ -9,13 +9,21 @@
 //	tssim -workload fft -save fft.trace        # save the task trace
 //	tssim -load fft.trace -cores 64            # replay a saved trace
 //	tssim -stream -tasks 1000000 -cores 64     # stream tasks lazily
+//	tssim -remote http://host:7077 -workload h264   # run on a tssd daemon
 //
 // With -stream the task stream is generated lazily (the STAP-like CPI
 // stream) and executed through tss.RunStream, so memory stays bounded by
 // the pipeline's in-flight window however long the stream is.
+//
+// With -remote the simulation is submitted to a tssd daemon (cmd/tssd)
+// instead of running in-process: progress streams back live, and a repeat of
+// an identical run is answered from the daemon's content-addressed result
+// cache without re-simulating.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"tasksuperscalar/internal/service"
 	"tasksuperscalar/internal/trace"
 	"tasksuperscalar/internal/workloads"
 	"tasksuperscalar/tss"
@@ -43,8 +52,27 @@ func main() {
 		saveTo   = flag.String("save", "", "write the generated task trace to this file and exit (.json for JSON)")
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
 		stream   = flag.Bool("stream", false, "generate tasks lazily and run via the streaming frontend path")
+		remote   = flag.String("remote", "", "submit the run to a tssd daemon at this base URL instead of simulating locally")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		// A remote run is described by a job spec, not a local build;
+		// reject flags that only make sense in-process.
+		conflicts := map[string]string{
+			"stream": "-remote submits recorded workloads only",
+			"save":   "-remote does not materialize a local trace",
+			"load":   "-remote regenerates the workload on the daemon",
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if why, ok := conflicts[f.Name]; ok {
+				fmt.Fprintf(os.Stderr, "tssim: -%s cannot be combined with -remote (%s)\n", f.Name, why)
+				os.Exit(2)
+			}
+		})
+		runRemote(*remote, *workload, *tasks, *seed, *runtime, *cores, *numTRS, *numORT, *trsKB, *ortKB, *memory)
+		return
+	}
 
 	if *stream {
 		// The streaming path generates its own workload and models no
@@ -168,6 +196,83 @@ func main() {
 			fs.GatewayUtil*100, fs.TRSUtil*100, fs.ORTUtil*100, fs.OVTUtil*100)
 	}
 	if *memory {
+		fmt.Printf("memory:         %d fetches (%d L1 object hits), %d invalidations, %d DMA copies, %.1f MB moved\n",
+			res.Mem.Fetches, res.Mem.L1ObjHits, res.Mem.Invalidations, res.Mem.DMACopies,
+			float64(res.Mem.BytesMoved)/(1<<20))
+	}
+}
+
+// runRemote submits the run to a tssd daemon, streams progress, and prints
+// the canonical result (noting whether it was served from the result cache).
+func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
+	cores, numTRS, numORT, trsKB, ortKB int, memory bool) {
+	spec := &service.JobSpec{
+		Kind: service.KindSim,
+		Sim: &service.SimSpec{
+			Workload: workload,
+			Tasks:    &tasks,
+			Seed:     &seed,
+			Machine: service.MachineSpec{
+				Runtime: runtimeKind,
+				Cores:   cores,
+				TRS:     numTRS,
+				ORT:     numORT,
+				TRSKB:   trsKB,
+				ORTKB:   ortKB,
+				Memory:  memory,
+			},
+		},
+	}
+	ctx := context.Background()
+	cl := service.NewClient(base)
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("submitted %s (key %.12s…) to %s\n", st.ID, st.Key, base)
+	if !st.Cached {
+		st, err = cl.Wait(ctx, st.ID, func(ev service.Event) {
+			if ev.Type == "progress" {
+				var p struct{ Done, Total uint64 }
+				if json.Unmarshal(ev.Data, &p) == nil && p.Total > 0 {
+					fmt.Printf("\rprogress:       %d/%d tasks (%.0f%%)", p.Done, p.Total,
+						100*float64(p.Done)/float64(p.Total))
+				}
+			}
+		})
+		fmt.Println()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
+			os.Exit(1)
+		}
+		if st.Status != service.StatusDone {
+			fmt.Fprintf(os.Stderr, "tssim: remote job failed: %s\n", st.Error)
+			os.Exit(1)
+		}
+	}
+	var res service.SimResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "tssim: decoding result: %v\n", err)
+		os.Exit(1)
+	}
+	source := "simulated remotely"
+	if st.Cached {
+		source = "served from result cache"
+	}
+	fmt.Printf("runtime:        %s on %d cores (%s)\n", res.Runtime, res.Cores, source)
+	fmt.Printf("tasks executed: %d\n", res.Tasks)
+	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
+		res.Cycles, float64(res.Cycles)/3.2e6)
+	fmt.Printf("speedup:        %.1fx over sequential work (%d cycles)\n",
+		res.SpeedupOverWork, res.TotalWorkCycles)
+	if res.DecodeRateCycles > 0 {
+		fmt.Printf("decode rate:    %.0f cycles/task (%.0f ns)\n",
+			res.DecodeRateCycles, tss.CyclesToNs(res.DecodeRateCycles))
+	}
+	fmt.Printf("task window:    max %d in-flight tasks\n", res.WindowMax)
+	fmt.Printf("utilization:    %.1f%% of cores busy (time-averaged)\n", res.Utilization*100)
+	if res.Mem != nil {
 		fmt.Printf("memory:         %d fetches (%d L1 object hits), %d invalidations, %d DMA copies, %.1f MB moved\n",
 			res.Mem.Fetches, res.Mem.L1ObjHits, res.Mem.Invalidations, res.Mem.DMACopies,
 			float64(res.Mem.BytesMoved)/(1<<20))

@@ -107,7 +107,7 @@ func (o Options) cores() int {
 }
 
 // pool returns the run's worker pool.
-func (o Options) pool() *pool { return newPool(o.Workers) }
+func (o Options) pool() *Pool { return NewPool(o.Workers) }
 
 // fullBudget is the default paper-scale run length per benchmark. H264 gets
 // a longer stream so its window-size effects manifest (its distant

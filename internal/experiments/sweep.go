@@ -14,22 +14,27 @@ import (
 // slots — so the printed output (and any recorded points) are byte-for-byte
 // identical whatever the worker count or completion order.
 
-// pool is a bounded worker pool for independent simulation jobs.
-type pool struct {
+// Pool is a bounded worker pool for independent simulation jobs. It is the
+// execution primitive shared by the experiment sweeps and by the tssd
+// service daemon (internal/service), which runs whole submitted jobs on one.
+type Pool struct {
 	workers int
 }
 
-// newPool returns a pool of the given width; workers <= 0 uses GOMAXPROCS.
-func newPool(workers int) *pool {
+// NewPool returns a pool of the given width; workers <= 0 uses GOMAXPROCS.
+func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &pool{workers: workers}
+	return &Pool{workers: workers}
 }
+
+// Workers reports the pool's width.
+func (p *Pool) Workers() int { return p.workers }
 
 // Do runs job(0..n-1) across the pool and returns the lowest-index error
 // (deterministic regardless of scheduling). Every job is attempted.
-func (p *pool) Do(n int, job func(i int) error) error {
+func (p *Pool) Do(n int, job func(i int) error) error {
 	if n == 0 {
 		return nil
 	}

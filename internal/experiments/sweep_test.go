@@ -13,7 +13,7 @@ func TestPoolRunsEveryJob(t *testing.T) {
 	for _, workers := range []int{1, 4, 32} {
 		var ran int64
 		hit := make([]bool, 100)
-		err := newPool(workers).Do(len(hit), func(i int) error {
+		err := NewPool(workers).Do(len(hit), func(i int) error {
 			atomic.AddInt64(&ran, 1)
 			hit[i] = true
 			return nil
@@ -34,7 +34,7 @@ func TestPoolRunsEveryJob(t *testing.T) {
 
 func TestPoolReturnsLowestIndexError(t *testing.T) {
 	errA := errors.New("a")
-	err := newPool(8).Do(50, func(i int) error {
+	err := NewPool(8).Do(50, func(i int) error {
 		switch i {
 		case 7:
 			return errA
@@ -49,7 +49,7 @@ func TestPoolReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestPoolZeroJobs(t *testing.T) {
-	if err := newPool(4).Do(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := NewPool(4).Do(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3, 1<<20)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the LRU entry.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 3 entries / 1 eviction", st)
+	}
+	// 5 hits (k0 + the three survivors... k0 twice), 1 miss (k1).
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 100)
+	c.Put("a", make([]byte, 60))
+	c.Put("b", make([]byte, 60)) // exceeds 100 bytes → evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by the byte bound")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should be cached")
+	}
+	// A value larger than the whole budget is refused outright.
+	c.Put("huge", make([]byte, 200))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value should not be cached")
+	}
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestCacheOverwriteKeepsBytesAccurate(t *testing.T) {
+	c := NewCache(10, 1000)
+	c.Put("k", make([]byte, 100))
+	c.Put("k", make([]byte, 10))
+	if st := c.Stats(); st.Bytes != 10 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 10 bytes / 1 entry", st)
+	}
+	v, ok := c.Get("k")
+	if !ok || !bytes.Equal(v, make([]byte, 10)) {
+		t.Fatal("overwritten value not returned")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(64, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%100)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.Put(k, []byte(k))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 64 {
+		t.Fatalf("entry bound violated: %d", st.Entries)
+	}
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the Go client for a tssd daemon. The zero HTTP client uses
+// http.DefaultClient; Base is the daemon's root URL (e.g.
+// "http://localhost:7077").
+type Client struct {
+	// Base is the daemon root URL, without a trailing slash.
+	Base string
+	// HTTP optionally overrides the transport (nil uses
+	// http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("tssd: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("tssd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted job's status (which is
+// already terminal for cache hits).
+func (c *Client) Submit(ctx context.Context, spec *JobSpec) (*SubmitStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st SubmitStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's current status (result included once done).
+func (c *Client) Job(ctx context.Context, id string) (*SubmitStatus, error) {
+	var st SubmitStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's raw canonical result bytes — byte-identical
+// to RunSpec of the same spec, whether simulated or served from cache.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the daemon's /stats counters.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	var st ServerStats
+	if err := c.getJSON(ctx, "/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Event is one Server-Sent Event from a job's event stream.
+type Event struct {
+	// Type is status, progress, log, result, or error.
+	Type string
+	// Data is the event's JSON payload.
+	Data []byte
+}
+
+// Events subscribes to a job's SSE stream and invokes fn for every event
+// until the stream ends (after a terminal result/error event), fn returns an
+// error, or ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = append(ev.Data[:0:0], line[len("data: "):]...)
+		case line == "":
+			if ev.Type == "" && ev.Data == nil {
+				continue
+			}
+			if err := fn(ev); err != nil {
+				return err
+			}
+			ev = Event{}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait follows a job's event stream until it finishes and returns its final
+// status. onEvent (may be nil) additionally observes every event — the hook
+// the CLIs use to print progress and sweep log lines live.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*SubmitStatus, error) {
+	err := c.Events(ctx, id, func(ev Event) error {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.Status != StatusDone && st.Status != StatusFailed {
+		return nil, fmt.Errorf("tssd: event stream ended but job %s is %s", id, st.Status)
+	}
+	return st, nil
+}

@@ -1,0 +1,51 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"tasksuperscalar/internal/service"
+)
+
+// ExampleClient submits a simulation to a tssd daemon, waits for it over the
+// job's event stream, and shows that a repeated identical submission is
+// answered from the content-addressed result cache without re-simulating.
+func ExampleClient() {
+	srv := service.New(service.Config{Workers: 2})
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cl := service.NewClient(hs.URL)
+	ctx := context.Background()
+	tasks, seed := 600, int64(7)
+	spec := &service.JobSpec{
+		Kind: service.KindSim,
+		Sim: &service.SimSpec{
+			Workload: "cholesky",
+			Tasks:    &tasks,
+			Seed:     &seed,
+			Machine:  service.MachineSpec{Cores: 16},
+		},
+	}
+
+	st, _ := cl.Submit(ctx, spec)
+	st, err := cl.Wait(ctx, st.ID, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first run: %s (cached: %v)\n", st.Status, st.Cached)
+
+	// Same spec again: a deterministic simulator makes the cached result
+	// exact, so the daemon answers without running anything.
+	again, _ := cl.Submit(ctx, spec)
+	fmt.Printf("second run: %s (cached: %v)\n", again.Status, again.Cached)
+
+	stats, _ := cl.Stats(ctx)
+	fmt.Printf("cache hits: %d\n", stats.Cache.Hits)
+	// Output:
+	// first run: done (cached: false)
+	// second run: done (cached: true)
+	// cache hits: 1
+}

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"tasksuperscalar/internal/core"
+	"tasksuperscalar/internal/experiments"
+	"tasksuperscalar/internal/mem"
+	"tasksuperscalar/internal/softrt"
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
+)
+
+// SimResult is the canonical result payload of a sim job: the
+// machine-independent summary of one deterministic run. Its JSON encoding is
+// what the cache stores and what clients receive — two runs of the same
+// normalized spec encode byte-identically.
+type SimResult struct {
+	// SimVersion is tss.SimVersion at the time of the run.
+	SimVersion string `json:"sim_version"`
+	// Workload, Seed, and Runtime echo the normalized spec.
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Runtime  string `json:"runtime"`
+	// Cores is the worker-core count of the simulated machine.
+	Cores int `json:"cores"`
+	// Tasks is the number of tasks executed.
+	Tasks uint64 `json:"tasks"`
+	// Cycles is the makespan in core cycles.
+	Cycles uint64 `json:"cycles"`
+	// TotalWorkCycles is the sequential lower bound (sum of task runtimes).
+	TotalWorkCycles uint64 `json:"total_work_cycles"`
+	// SpeedupOverWork is TotalWorkCycles / Cycles.
+	SpeedupOverWork float64 `json:"speedup_over_work"`
+	// DecodeRateCycles is the average decode interval in cycles/task.
+	DecodeRateCycles float64 `json:"decode_rate_cycles"`
+	// Utilization is the time-averaged fraction of busy cores.
+	Utilization float64 `json:"utilization"`
+	// WindowMax is the peak number of in-flight decoded tasks.
+	WindowMax int64 `json:"window_max"`
+	// Frontend carries hardware-pipeline statistics (hardware runs only).
+	Frontend *core.FrontendStats `json:"frontend,omitempty"`
+	// Software carries software-runtime statistics (software runs only).
+	Software *softrt.Stats `json:"software,omitempty"`
+	// Mem carries memory-system statistics when the hierarchy is modeled.
+	Mem *mem.Stats `json:"mem,omitempty"`
+}
+
+// SweepResult is the canonical result payload of a sweep job: the
+// experiment's printed output plus every aggregated sweep point.
+type SweepResult struct {
+	// SimVersion is tss.SimVersion at the time of the run.
+	SimVersion string `json:"sim_version"`
+	// Experiment and Title identify the registry entry.
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	// Output is the experiment's formatted table text, exactly as
+	// cmd/tsbench would print it.
+	Output string `json:"output"`
+	// Points are the aggregated sweep points (the -json payload).
+	Points []experiments.Point `json:"points"`
+}
+
+// EncodeSimResult renders the canonical byte encoding of a sim job's result
+// for a *normalized* spec. It is exported (within the module) so tests and
+// clients can verify that a daemon response is byte-identical to a direct
+// tss run of the same spec.
+func EncodeSimResult(spec *SimSpec, res *tss.Result) ([]byte, error) {
+	out := SimResult{
+		SimVersion:       tss.SimVersion,
+		Workload:         spec.Workload,
+		Seed:             *spec.Seed,
+		Runtime:          res.Kind.String(),
+		Cores:            res.Cores,
+		Tasks:            res.Tasks,
+		Cycles:           res.Cycles,
+		TotalWorkCycles:  res.TotalWorkCycles,
+		DecodeRateCycles: res.DecodeRateCycles,
+		Utilization:      res.Utilization,
+		WindowMax:        res.WindowMax,
+	}
+	if res.Cycles > 0 {
+		out.SpeedupOverWork = float64(res.TotalWorkCycles) / float64(res.Cycles)
+	}
+	switch res.Kind {
+	case tss.HardwarePipeline:
+		fe := res.Frontend
+		out.Frontend = &fe
+	case tss.SoftwareRuntime:
+		sw := res.Software
+		out.Software = &sw
+	}
+	if spec.Machine.Memory {
+		m := res.Mem
+		out.Mem = &m
+	}
+	return json.Marshal(out)
+}
+
+// runSim executes a normalized sim spec and returns its canonical result
+// bytes. progress (may be nil) observes retirement counts at ~1% granularity
+// plus a final exact count.
+func runSim(spec *SimSpec, progress func(done, total uint64)) ([]byte, error) {
+	wl, ok := workloads.ByName(spec.Workload)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	b := wl.Gen(*spec.Tasks, *spec.Seed)
+	total := uint64(len(b.Tasks))
+	cfg := spec.Config()
+	if progress != nil {
+		progress(0, total)
+		step := total/100 + 1
+		var done atomic.Uint64
+		cfg.OnComplete = func(seq, cycle uint64) {
+			d := done.Add(1)
+			if d%step == 0 || d == total {
+				progress(d, total)
+			}
+		}
+	}
+	res, err := tss.RunTasks(b.Tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeSimResult(spec, res)
+}
+
+// lineWriter tees writes into buf and feeds each completed line to emit.
+type lineWriter struct {
+	buf  *bytes.Buffer
+	line bytes.Buffer
+	emit func(string)
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	if w.emit != nil {
+		w.line.Write(p)
+		for {
+			b := w.line.Bytes()
+			i := bytes.IndexByte(b, '\n')
+			if i < 0 {
+				break
+			}
+			w.emit(string(b[:i]))
+			w.line.Next(i + 1)
+		}
+	}
+	return len(p), nil
+}
+
+// runSweep executes a normalized sweep spec and returns its canonical
+// result bytes. logLine (may be nil) observes each formatted output line as
+// the experiment prints it.
+func runSweep(spec *SweepSpec, logLine func(string)) ([]byte, error) {
+	e, ok := experiments.Get(spec.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
+	}
+	sink := &experiments.Sink{}
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	if logLine != nil {
+		w = &lineWriter{buf: &buf, emit: logLine}
+	}
+	if err := e.Run(w, spec.Options(sink)); err != nil {
+		return nil, err
+	}
+	out := SweepResult{
+		SimVersion: tss.SimVersion,
+		Experiment: e.ID,
+		Title:      e.Title,
+		Output:     buf.String(),
+		Points:     sink.Points(),
+	}
+	return json.Marshal(out)
+}
+
+// RunSpec executes a normalized job spec outside any daemon — the direct
+// path a cached daemon response must be byte-identical to.
+func RunSpec(spec *JobSpec) ([]byte, error) {
+	switch spec.Kind {
+	case KindSim:
+		return runSim(spec.Sim, nil)
+	case KindSweep:
+		return runSweep(spec.Sweep, nil)
+	}
+	return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+}

@@ -1,0 +1,564 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// Job statuses, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers bounds how many jobs simulate concurrently (default
+	// GOMAXPROCS). Each sweep job may additionally fan out its own
+	// internal pool (SweepSpec.Workers, default 1).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker; submits beyond it
+	// are rejected with 503 (default 1024).
+	QueueDepth int
+	// CacheEntries and CacheBytes bound the result cache (defaults 1024
+	// entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// MaxLogLines bounds the per-job log retained for SSE replay
+	// (default 4096; older lines are dropped, newest kept).
+	MaxLogLines int
+	// MaxJobs bounds the job registry (default 4096): beyond it the
+	// oldest *terminal* job records — including their pinned result
+	// bytes — are evicted and subsequently 404. Results stay available
+	// through the LRU cache via re-submission of the same spec.
+	MaxJobs int
+}
+
+// execution is the shared run state of one content-addressed job. Jobs that
+// coalesce onto the same in-flight run share one execution; its condition
+// variable broadcasts every observable change to the SSE streams.
+type execution struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	status  string
+	done    uint64 // retired tasks (sim jobs)
+	total   uint64 // total tasks once known (sim jobs)
+	logs    []string
+	logBase int // index of logs[0] in the full log stream
+	result  []byte
+	errMsg  string
+	version uint64 // bumped on every observable change
+}
+
+func newExecution(status string) *execution {
+	e := &execution{status: status}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// set applies fn under the lock and wakes every watcher.
+func (e *execution) set(fn func()) {
+	e.mu.Lock()
+	fn()
+	e.version++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// wake broadcasts without changing state (watchers re-check their
+// contexts). The lock is required for the broadcast to be reliable: without
+// it, a disconnect could land between a watcher's condition check and its
+// cond.Wait and be lost, leaving the watcher blocked until the job's next
+// state change.
+func (e *execution) wake() {
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// execSnapshot is a consistent copy of an execution's observable state.
+type execSnapshot struct {
+	status      string
+	done, total uint64
+	logs        []string // full retained log
+	logBase     int
+	result      []byte
+	errMsg      string
+	version     uint64
+}
+
+func (e *execution) snapshot() execSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return execSnapshot{
+		status: e.status, done: e.done, total: e.total,
+		logs: e.logs, logBase: e.logBase,
+		result: e.result, errMsg: e.errMsg, version: e.version,
+	}
+}
+
+func (s execSnapshot) terminal() bool { return s.status == StatusDone || s.status == StatusFailed }
+
+// job is one submission: its own identity and spec, sharing an execution
+// with any identical submissions it was coalesced with.
+type job struct {
+	id        string
+	spec      JobSpec
+	key       string
+	exec      *execution
+	cached    bool // answered from the result cache
+	coalesced bool // attached to an identical in-flight run
+}
+
+// Server is the tssd daemon: an http.Handler plus the worker pool and
+// result cache behind it. Create with New, serve via Handler, and Close when
+// done.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	mux   *http.ServeMux
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	jobs      map[string]*job
+	order     []string        // job IDs in submission order
+	inflight  map[string]*job // key → primary job currently queued/running
+	nextID    uint64
+	coalesced uint64
+	completed uint64
+	failed    uint64
+}
+
+// New starts a server: its workers are running on return.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.MaxLogLines <= 0 {
+		cfg.MaxLogLines = 4096
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close rejects further submissions and waits for the workers to drain.
+// In-flight jobs finish; queued jobs still run (the queue is drained, not
+// dropped). Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes a primary job and publishes its outcome to the shared
+// execution, the cache, and the server counters.
+func (s *Server) runJob(j *job) {
+	e := j.exec
+	e.set(func() { e.status = StatusRunning })
+
+	var result []byte
+	var err error
+	switch j.spec.Kind {
+	case KindSim:
+		result, err = runSim(j.spec.Sim, func(done, total uint64) {
+			e.set(func() { e.done, e.total = done, total })
+		})
+	case KindSweep:
+		result, err = runSweep(j.spec.Sweep, func(line string) {
+			e.set(func() {
+				e.logs = append(e.logs, line)
+				if over := len(e.logs) - s.cfg.MaxLogLines; over > 0 {
+					e.logs = e.logs[over:]
+					e.logBase += over
+				}
+			})
+		})
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
+	}
+
+	if err == nil {
+		s.cache.Put(j.key, result)
+	}
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	if err == nil {
+		s.completed++
+	} else {
+		s.failed++
+	}
+	s.mu.Unlock()
+	e.set(func() {
+		if err != nil {
+			e.status = StatusFailed
+			e.errMsg = err.Error()
+		} else {
+			e.status = StatusDone
+			e.result = result
+		}
+	})
+	// This job just became evictable; re-check the registry bound so a
+	// burst that finishes after its submissions still converges to MaxJobs
+	// without waiting for the next submit.
+	s.mu.Lock()
+	s.evictJobsLocked()
+	s.mu.Unlock()
+}
+
+// SubmitStatus is the response to POST /v1/jobs and the per-job body of the
+// job and list endpoints.
+type SubmitStatus struct {
+	// ID names the job for the polling and SSE endpoints.
+	ID string `json:"id"`
+	// Kind echoes the spec's kind.
+	Kind string `json:"kind"`
+	// Key is the job's content address (hex SHA-256 of the normalized
+	// spec; see JobSpec.Key).
+	Key string `json:"key"`
+	// Status is queued, running, done, or failed.
+	Status string `json:"status"`
+	// Cached reports that the result was served from the cache without
+	// re-simulating.
+	Cached bool `json:"cached"`
+	// Coalesced reports that the submission attached to an identical
+	// in-flight run instead of starting its own.
+	Coalesced bool `json:"coalesced"`
+	// Done/Total report task-retirement progress for sim jobs.
+	Done  uint64 `json:"done"`
+	Total uint64 `json:"total"`
+	// Error is the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the canonical result payload, present once done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) statusOf(j *job) SubmitStatus {
+	snap := j.exec.snapshot()
+	st := SubmitStatus{
+		ID: j.id, Kind: j.spec.Kind, Key: j.key,
+		Status: snap.status, Cached: j.cached, Coalesced: j.coalesced,
+		Done: snap.done, Total: snap.total, Error: snap.errMsg,
+	}
+	if snap.status == StatusDone {
+		st.Result = snap.result
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	key := spec.Key()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	j := &job{spec: spec, key: key}
+	if primary, ok := s.inflight[key]; ok {
+		// Identical spec already queued or running: share its execution.
+		j.exec = primary.exec
+		j.coalesced = true
+		s.coalesced++
+		s.register(j)
+		s.mu.Unlock()
+	} else if result, ok := s.cache.Get(key); ok {
+		// Content-addressed hit: answer without simulating.
+		j.exec = newExecution(StatusDone)
+		j.exec.result = result
+		j.cached = true
+		s.register(j)
+		s.mu.Unlock()
+	} else {
+		j.exec = newExecution(StatusQueued)
+		// Non-blocking enqueue under the lock: either the job is queued
+		// and registered atomically, or nothing is recorded at all.
+		select {
+		case s.queue <- j:
+			s.register(j)
+			s.inflight[key] = j
+			s.mu.Unlock()
+		default:
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(s.statusOf(j))
+}
+
+// register assigns the job its ID and records it; caller holds s.mu.
+func (s *Server) register(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictJobsLocked()
+}
+
+// evictJobsLocked drops the oldest terminal job records (and with them the
+// result bytes their executions pin) once the registry exceeds MaxJobs, so
+// daemon memory is bounded by the LRU cache plus MaxJobs records rather
+// than growing with the submission history. Non-terminal jobs are never
+// evicted. Caller holds s.mu.
+func (s *Server) evictJobsLocked() {
+	excess := len(s.jobs) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j.exec.snapshot().terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statusOf(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]SubmitStatus, len(list))
+	for i, j := range list {
+		out[i] = s.statusOf(j)
+		out[i].Result = nil // listings stay light; fetch per job
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleResult serves the raw canonical result bytes — the byte-identity
+// surface: these bytes are exactly what RunSpec produces for the same spec.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	snap := j.exec.snapshot()
+	switch snap.status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Tssd-Cached", fmt.Sprintf("%v", j.cached))
+		w.Write(snap.result)
+	case StatusFailed:
+		httpError(w, http.StatusConflict, "job failed: %s", snap.errMsg)
+	default:
+		httpError(w, http.StatusConflict, "job is %s; result not available yet", snap.status)
+	}
+}
+
+// handleEvents streams the job over Server-Sent Events: a status event on
+// every transition, progress events for sim jobs, log events for sweep
+// jobs, and a terminal result or error event (see docs/SERVICE.md).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	e := j.exec
+	// Wake the cond loop when the client goes away.
+	ctx := r.Context()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.wake()
+		case <-watchDone:
+		}
+	}()
+
+	emit := func(event string, data any) {
+		b, _ := json.Marshal(data)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	}
+
+	var lastStatus string
+	var lastDone uint64
+	sentDone := false
+	nextLog := 0
+	for {
+		snap := e.snapshot()
+		if snap.status != lastStatus {
+			lastStatus = snap.status
+			emit("status", map[string]any{"id": j.id, "status": snap.status, "cached": j.cached})
+		}
+		if snap.total > 0 && (snap.done != lastDone || !sentDone) {
+			lastDone, sentDone = snap.done, true
+			emit("progress", map[string]any{"done": snap.done, "total": snap.total})
+		}
+		if nextLog < snap.logBase {
+			nextLog = snap.logBase // lines rotated out before we read them
+		}
+		for ; nextLog-snap.logBase < len(snap.logs); nextLog++ {
+			emit("log", map[string]any{"line": snap.logs[nextLog-snap.logBase]})
+		}
+		if snap.terminal() {
+			if snap.status == StatusDone {
+				fmt.Fprintf(w, "event: result\ndata: %s\n\n", snap.result)
+			} else {
+				emit("error", map[string]any{"error": snap.errMsg})
+			}
+			fl.Flush()
+			return
+		}
+		fl.Flush()
+
+		e.mu.Lock()
+		for e.version == snap.version && ctx.Err() == nil {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// ServerStats is the body of GET /stats.
+type ServerStats struct {
+	// Workers is the job pool width; QueueDepth its submit bound.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Submitted counts every accepted job; Completed/Failed count
+	// finished primary executions; Coalesced counts submissions that
+	// attached to an identical in-flight run; Inflight is the number of
+	// distinct executions currently queued or running.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Coalesced uint64 `json:"coalesced"`
+	Inflight  int    `json:"inflight"`
+	// Cache reports the result cache's occupancy and hit/miss/eviction
+	// counters.
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats snapshots the daemon counters (also served on /stats).
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Submitted:  s.nextID,
+		Completed:  s.completed,
+		Failed:     s.failed,
+		Coalesced:  s.coalesced,
+		Inflight:   len(s.inflight),
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

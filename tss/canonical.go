@@ -1,0 +1,92 @@
+package tss
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// SimVersion identifies the generation of the simulator's cycle-exact
+// semantics. It participates in every config fingerprint, so any cached or
+// recorded result is implicitly keyed by the code that produced it. Bump it
+// whenever a change alters simulated cycle counts (the same changes that
+// require regenerating docs/goldens/ with scripts/check_determinism.sh
+// -update); pure refactors, new statistics, and API changes leave it alone.
+const SimVersion = "tss-sim/2"
+
+// CanonicalString renders every semantically relevant field of the config —
+// everything that can influence a run's result, including the observation
+// switches that change which statistics are collected — as a stable,
+// human-readable key/value listing. Two configs produce the same string if
+// and only if they describe the same simulated machine under the same
+// SimVersion, which is what makes results content-addressable: the string
+// (and the Fingerprint derived from it) is the cache key used by the tssd
+// daemon's result cache.
+//
+// Function-valued fields (OnComplete hooks) are observers, not machine
+// state, and are excluded.
+func (c Config) CanonicalString() string {
+	var b strings.Builder
+	w := func(key string, v any) { fmt.Fprintf(&b, "%s=%v\n", key, v) }
+	w("sim", SimVersion)
+	w("runtime", c.Runtime.String())
+	w("cores", c.Cores)
+	w("cores_per_ring", c.CoresPerRing)
+
+	fe := c.Frontend
+	w("fe.num_trs", fe.NumTRS)
+	w("fe.num_ort", fe.NumORT)
+	w("fe.trs_bytes_each", fe.TRSBytesEach)
+	w("fe.ort_bytes_each", fe.ORTBytesEach)
+	w("fe.ovt_bytes_each", fe.OVTBytesEach)
+	w("fe.proc_cycles", fe.ProcCycles)
+	w("fe.edram_cycles", fe.EDRAMCycles)
+	w("fe.gateway_buf_bytes", fe.GatewayBufBytes)
+	w("fe.gen_base_cycles", fe.GenBaseCycles)
+	w("fe.gen_per_op_cycles", fe.GenPerOpCycles)
+	w("fe.renaming", fe.Renaming)
+	w("fe.chaining", fe.Chaining)
+	w("fe.ctrl_bytes", fe.CtrlBytes)
+	w("fe.ort_stash_limit", fe.ORTStashLimit)
+	w("fe.gateway_max_tasks", fe.GatewayMaxTasks)
+	w("fe.record_chains", fe.RecordChains)
+
+	sw := c.Software
+	w("sw.decode_base", sw.DecodeBase)
+	w("sw.decode_per_op", sw.DecodePerOp)
+	w("sw.wakeup_cycles", sw.WakeupCycles)
+	w("sw.gen_base", sw.GenBase)
+	w("sw.gen_per_op", sw.GenPerOp)
+
+	be := c.Backend
+	w("be.cores", be.Cores)
+	w("be.local_queue_depth", be.LocalQueueDepth)
+	w("be.dispatch_cycles", be.DispatchCycles)
+	w("be.ctrl_bytes", be.CtrlBytes)
+	w("be.stealing", be.Stealing)
+	if len(be.CoreSpeed) > 0 {
+		var sb strings.Builder
+		for i, s := range be.CoreSpeed {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%g", s)
+		}
+		w("be.core_speed", sb.String())
+	}
+	w("be.record_schedule", be.RecordSchedule)
+
+	w("memory", c.Memory)
+	w("line_detail_memory", c.LineDetailMemory)
+	return b.String()
+}
+
+// Fingerprint returns the hex SHA-256 of the canonical config encoding.
+// Identical fingerprints guarantee identical simulated machines (under the
+// embedded SimVersion), so a deterministic workload run against two configs
+// with equal fingerprints yields cycle-exact identical results.
+func (c Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte(c.CanonicalString()))
+	return hex.EncodeToString(sum[:])
+}

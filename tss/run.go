@@ -14,8 +14,11 @@ import (
 
 // Result reports one simulation run.
 type Result struct {
-	Kind  RuntimeKind
+	// Kind is the runtime that executed the run.
+	Kind RuntimeKind
+	// Cores is the worker-core count of the simulated machine.
 	Cores int
+	// Tasks is the number of tasks executed.
 	Tasks uint64
 
 	// Cycles is the makespan in core cycles.
