@@ -26,12 +26,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tasksuperscalar/internal/experiments"
 	"tasksuperscalar/internal/service"
 )
+
+// cancelRemote best-effort cancels a remote job after an interrupt (the
+// interrupted context is dead, so the DELETE rides a fresh one).
+func cancelRemote(cl *service.Client, id string) {
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if st, err := cl.Cancel(cctx, id); err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: interrupted; cancelling remote job %s failed: %v\n", id, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "tsbench: interrupted; remote job %s is %s\n", id, st.Status)
+	}
+}
 
 func main() {
 	var (
@@ -129,9 +143,11 @@ func writeSink(sink *experiments.Sink, jsonOut string) {
 
 // runRemote submits each experiment to a tssd daemon as a sweep job,
 // printing its output lines as they stream back and recording the returned
-// sweep points into sink (for -json).
+// sweep points into sink (for -json). Ctrl-C cancels the in-flight remote
+// job cooperatively before exiting.
 func runRemote(base string, ids []string, full bool, seed int64, cores, sweepWorkers int, sink *experiments.Sink) {
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cl := service.NewClient(base)
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -155,7 +171,8 @@ func runRemote(base string, ids []string, full bool, seed int64, cores, sweepWor
 		}
 		printed := false
 		if !st.Cached {
-			st, err = cl.Wait(ctx, st.ID, func(ev service.Event) {
+			id := st.ID
+			st, err = cl.Wait(ctx, id, func(ev service.Event) {
 				if ev.Type == "log" {
 					var l struct{ Line string }
 					if json.Unmarshal(ev.Data, &l) == nil {
@@ -165,11 +182,15 @@ func runRemote(base string, ids []string, full bool, seed int64, cores, sweepWor
 				}
 			})
 			if err != nil {
+				if ctx.Err() != nil {
+					cancelRemote(cl, id)
+					os.Exit(130)
+				}
 				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 				os.Exit(1)
 			}
 			if st.Status != service.StatusDone {
-				fmt.Fprintf(os.Stderr, "tsbench: %s failed remotely: %s\n", e.ID, st.Error)
+				fmt.Fprintf(os.Stderr, "tsbench: %s ended %s remotely: %s\n", e.ID, st.Status, st.Error)
 				os.Exit(1)
 			}
 		}

@@ -10,15 +10,30 @@
 //	tssd -addr :8080 -workers 8           # custom port, 8 concurrent jobs
 //	tssd -cache-entries 4096 -cache-mb 256
 //
+// Fleet mode (multi-node):
+//
+//	tssd -fleet -addr :7077                        # dispatcher: no local jobs
+//	tssd -addr :7081 -join http://dispatcher:7077  # worker: joins the fleet
+//	tssd -addr :7081 -join http://dispatcher:7077 -advertise http://worker1:7081
+//
+// A dispatcher exposes the same job API as a plain daemon but fans jobs out
+// to joined workers, coalesces identical jobs across nodes, shares results
+// through its own cache, and retries on another worker when one dies
+// mid-job. A worker is just a plain daemon that registers itself; -advertise
+// is the URL at which the dispatcher can reach it (default derived from
+// -addr with a localhost host).
+//
 // Submit a job:
 //
 //	curl -s localhost:7077/v1/jobs -d '{"kind":"sim","sim":{"workload":"cholesky","tasks":3000}}'
 //	curl -N localhost:7077/v1/jobs/job-1/events      # live SSE progress
 //	curl -s localhost:7077/v1/jobs/job-1/result      # canonical result JSON
+//	curl -s -X DELETE localhost:7077/v1/jobs/job-1   # cooperative cancel
 //	curl -s localhost:7077/stats                     # cache + pool counters
 //
 // The full API is documented in docs/SERVICE.md. cmd/tssim and cmd/tsbench
-// can target a daemon with -remote instead of simulating locally.
+// can target a daemon (or a fleet dispatcher) with -remote instead of
+// simulating locally.
 package main
 
 import (
@@ -29,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,8 +59,20 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
 		cacheMB      = flag.Int("cache-mb", 64, "result cache size bound (MiB)")
 		maxJobs      = flag.Int("max-jobs", 4096, "job records retained; oldest finished jobs are evicted beyond this")
+		fleetMode    = flag.Bool("fleet", false, "run as a fleet dispatcher: jobs are fanned out to workers that register via -join (or POST /v1/workers)")
+		join         = flag.String("join", "", "dispatcher base URL to join as a fleet worker")
+		advertise    = flag.String("advertise", "", "base URL at which the dispatcher can reach this worker (default derived from -addr)")
 	)
 	flag.Parse()
+
+	if *fleetMode && *join != "" {
+		fmt.Fprintln(os.Stderr, "tssd: -fleet and -join are mutually exclusive (a dispatcher does not work for another dispatcher)")
+		os.Exit(2)
+	}
+	if *advertise != "" && *join == "" {
+		fmt.Fprintln(os.Stderr, "tssd: -advertise only makes sense with -join")
+		os.Exit(2)
+	}
 
 	srv := service.New(service.Config{
 		Workers:      *workers,
@@ -52,23 +80,42 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheBytes:   int64(*cacheMB) << 20,
 		MaxJobs:      *maxJobs,
+		Fleet:        *fleetMode,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Root context ends on SIGINT/SIGTERM; it also aborts a pending -join
+	// registration loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseFromAddr(*addr)
+		}
+		go func() {
+			id, err := service.JoinFleet(ctx, *join, self)
+			if err != nil {
+				log.Printf("tssd: %v", err)
+				return
+			}
+			log.Printf("tssd: joined fleet at %s as %s (advertised %s)", *join, id, self)
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		<-ctx.Done()
 		log.Println("tssd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		hs.Shutdown(ctx)
+		hs.Shutdown(sctx)
 		srv.Close()
 	}()
 
-	log.Printf("tssd: listening on %s (%s)", *addr, poolDesc(*workers))
+	log.Printf("tssd: listening on %s (%s)", *addr, modeDesc(*fleetMode, *workers))
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "tssd: %v\n", err)
 		os.Exit(1)
@@ -76,7 +123,20 @@ func main() {
 	<-done
 }
 
-func poolDesc(workers int) string {
+// advertiseFromAddr derives a worker's default advertise URL from its listen
+// address: ":7081" → "http://localhost:7081". Cross-host fleets must pass
+// -advertise explicitly.
+func advertiseFromAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
+}
+
+func modeDesc(fleet bool, workers int) string {
+	if fleet {
+		return "fleet dispatcher"
+	}
 	if workers <= 0 {
 		return "one worker per CPU"
 	}

@@ -27,8 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"tasksuperscalar/internal/service"
@@ -202,8 +204,21 @@ func main() {
 	}
 }
 
+// cancelRemote best-effort cancels a remote job (used on Ctrl-C: the
+// interrupted context is already dead, so the DELETE rides a fresh one).
+func cancelRemote(cl *service.Client, prog, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if st, err := cl.Cancel(ctx, id); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: interrupted; cancelling remote job %s failed: %v\n", prog, id, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: interrupted; remote job %s is %s\n", prog, id, st.Status)
+	}
+}
+
 // runRemote submits the run to a tssd daemon, streams progress, and prints
 // the canonical result (noting whether it was served from the result cache).
+// Ctrl-C cancels the remote job cooperatively before exiting.
 func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
 	cores, numTRS, numORT, trsKB, ortKB int, memory bool) {
 	spec := &service.JobSpec{
@@ -223,7 +238,8 @@ func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
 			},
 		},
 	}
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cl := service.NewClient(base)
 	st, err := cl.Submit(ctx, spec)
 	if err != nil {
@@ -232,7 +248,8 @@ func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
 	}
 	fmt.Printf("submitted %s (key %.12s…) to %s\n", st.ID, st.Key, base)
 	if !st.Cached {
-		st, err = cl.Wait(ctx, st.ID, func(ev service.Event) {
+		id := st.ID
+		st, err = cl.Wait(ctx, id, func(ev service.Event) {
 			if ev.Type == "progress" {
 				var p struct{ Done, Total uint64 }
 				if json.Unmarshal(ev.Data, &p) == nil && p.Total > 0 {
@@ -243,11 +260,15 @@ func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
 		})
 		fmt.Println()
 		if err != nil {
+			if ctx.Err() != nil {
+				cancelRemote(cl, "tssim", id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "tssim: %v\n", err)
 			os.Exit(1)
 		}
 		if st.Status != service.StatusDone {
-			fmt.Fprintf(os.Stderr, "tssim: remote job failed: %s\n", st.Error)
+			fmt.Fprintf(os.Stderr, "tssim: remote job %s: %s\n", st.Status, st.Error)
 			os.Exit(1)
 		}
 	}

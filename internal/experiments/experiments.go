@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -42,6 +43,10 @@ type Options struct {
 	// Sink, when non-nil, additionally collects every aggregated sweep
 	// point for machine-readable (JSON) output.
 	Sink *Sink
+	// Context, when non-nil, cancels the sweep cooperatively between its
+	// constituent simulations (running points finish; unstarted points
+	// fail with the context's error).
+	Context context.Context
 }
 
 // DefaultOptions returns full-scale options.
@@ -106,8 +111,15 @@ func (o Options) cores() int {
 	return 256
 }
 
-// pool returns the run's worker pool.
-func (o Options) pool() *Pool { return NewPool(o.Workers) }
+// pool returns the run's worker pool, carrying the run's cancellation
+// context when one was set.
+func (o Options) pool() *Pool {
+	p := NewPool(o.Workers)
+	if o.Context != nil {
+		p = p.WithContext(o.Context)
+	}
+	return p
+}
 
 // fullBudget is the default paper-scale run length per benchmark. H264 gets
 // a longer stream so its window-size effects manifest (its distant

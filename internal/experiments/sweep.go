@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 // service daemon (internal/service), which runs whole submitted jobs on one.
 type Pool struct {
 	workers int
+	ctx     context.Context // optional; cancels between jobs
 }
 
 // NewPool returns a pool of the given width; workers <= 0 uses GOMAXPROCS.
@@ -29,14 +31,36 @@ func NewPool(workers int) *Pool {
 	return &Pool{workers: workers}
 }
 
+// WithContext returns a copy of the pool with cooperative cancellation
+// attached: once ctx is cancelled, Do stops starting new jobs (jobs already
+// running finish) and the skipped slots fail with ctx.Err(). The receiver is
+// left untouched, so one base pool can derive independently cancellable
+// pools. Point-granular cancellation is what the tssd daemon relies on to
+// abandon a sweep job between its constituent simulations.
+func (p Pool) WithContext(ctx context.Context) *Pool {
+	p.ctx = ctx
+	return &p
+}
+
 // Workers reports the pool's width.
 func (p *Pool) Workers() int { return p.workers }
 
 // Do runs job(0..n-1) across the pool and returns the lowest-index error
-// (deterministic regardless of scheduling). Every job is attempted.
+// (deterministic regardless of scheduling). Every job is attempted unless
+// the pool's context is cancelled, in which case unstarted jobs take the
+// context's error instead.
 func (p *Pool) Do(n int, job func(i int) error) error {
 	if n == 0 {
 		return nil
+	}
+	run := job
+	if p.ctx != nil {
+		run = func(i int) error {
+			if err := p.ctx.Err(); err != nil {
+				return err
+			}
+			return job(i)
+		}
 	}
 	workers := p.workers
 	if workers > n {
@@ -45,7 +69,7 @@ func (p *Pool) Do(n int, job func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = job(i)
+			errs[i] = run(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -55,7 +79,7 @@ func (p *Pool) Do(n int, job func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					errs[i] = job(i)
+					errs[i] = run(i)
 				}
 			}()
 		}

@@ -63,9 +63,21 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// DispatchPathHeader carries the chain of dispatcher instance IDs a job has
+// passed through (comma-separated). A daemon that finds its own instance in
+// the incoming chain rejects the submission: the fleet topology contains a
+// dispatch cycle that would otherwise coalesce a job with itself and hang.
+const DispatchPathHeader = "X-Tssd-Dispatch-Path"
+
 // Submit posts a job spec and returns the accepted job's status (which is
 // already terminal for cache hits).
 func (c *Client) Submit(ctx context.Context, spec *JobSpec) (*SubmitStatus, error) {
+	return c.SubmitVia(ctx, spec, nil)
+}
+
+// SubmitVia is Submit carrying the dispatch chain that routed the job here
+// (used by fleet dispatchers relaying to workers; see DispatchPathHeader).
+func (c *Client) SubmitVia(ctx context.Context, spec *JobSpec, via []string) (*SubmitStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -75,6 +87,9 @@ func (c *Client) Submit(ctx context.Context, spec *JobSpec) (*SubmitStatus, erro
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if len(via) > 0 {
+		req.Header.Set(DispatchPathHeader, strings.Join(via, ","))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -94,6 +109,30 @@ func (c *Client) Submit(ctx context.Context, spec *JobSpec) (*SubmitStatus, erro
 func (c *Client) Job(ctx context.Context, id string) (*SubmitStatus, error) {
 	var st SubmitStatus
 	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cooperative cancellation of a job (DELETE /v1/jobs/{id})
+// and returns the job's status as of the request. Cancellation is
+// idempotent: a job that already reached a terminal state is left untouched
+// and its settled status is returned, so repeated Cancels converge.
+func (c *Client) Cancel(ctx context.Context, id string) (*SubmitStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st SubmitStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -128,15 +167,19 @@ func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
 
 // Event is one Server-Sent Event from a job's event stream.
 type Event struct {
-	// Type is status, progress, log, result, or error.
+	// Type is status, progress, log, or a terminal result, error, or
+	// cancelled.
 	Type string
 	// Data is the event's JSON payload.
 	Data []byte
 }
 
 // Events subscribes to a job's SSE stream and invokes fn for every event
-// until the stream ends (after a terminal result/error event), fn returns an
-// error, or ctx is cancelled.
+// until the stream ends (after a terminal result/error/cancelled event), fn
+// returns an error, or ctx is cancelled. Cancellation aborts the stream
+// promptly even while the read is blocked waiting for the server's next
+// event: a watchdog closes the response body the moment ctx is done, rather
+// than relying on the transport to notice between reads.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
@@ -150,6 +193,15 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 	if resp.StatusCode != http.StatusOK {
 		return apiError(resp)
 	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			resp.Body.Close() // unblocks the scanner mid-read
+		case <-watchDone:
+		}
+	}()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	var ev Event
@@ -177,8 +229,11 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 }
 
 // Wait follows a job's event stream until it finishes and returns its final
-// status. onEvent (may be nil) additionally observes every event — the hook
-// the CLIs use to print progress and sweep log lines live.
+// (terminal) status — done, failed, or cancelled. onEvent (may be nil)
+// additionally observes every event — the hook the CLIs use to print
+// progress and sweep log lines live. A cancelled ctx aborts the wait
+// promptly with ctx's error (the job itself keeps running; use Cancel to
+// stop it).
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*SubmitStatus, error) {
 	err := c.Events(ctx, id, func(ev Event) error {
 		if onEvent != nil {
@@ -193,7 +248,7 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*Sub
 	if err != nil {
 		return nil, err
 	}
-	if st.Status != StatusDone && st.Status != StatusFailed {
+	if !terminalStatus(st.Status) {
 		return nil, fmt.Errorf("tssd: event stream ended but job %s is %s", id, st.Status)
 	}
 	return st, nil

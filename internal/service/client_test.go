@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// detachedTransport strips the request context before delegating, the shape
+// of third-party RoundTripper wrappers (retry, logging) that rebuild
+// requests: with one of these installed, the transport will never abort a
+// blocked body read on cancellation — only Events' own watchdog can.
+type detachedTransport struct{}
+
+func (detachedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return http.DefaultTransport.RoundTrip(r.WithContext(context.Background()))
+}
+
+// Regression: Events (and Wait on top of it) must abort promptly when the
+// context is cancelled while the SSE read is blocked waiting for the
+// server's next event — not at the next event, which for an idle job may be
+// arbitrarily far away, and not only when the transport happens to watch
+// the request context mid-read. The stalling server below sends one event
+// and then goes silent until the test ends; the client's transport detaches
+// request contexts, so only the client-side watchdog can unblock the read.
+func TestEventsAbortsPromptlyOnCancel(t *testing.T) {
+	release := make(chan struct{})
+	firstSent := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "event: status\ndata: {\"status\":\"running\"}\n\n")
+		w.(http.Flusher).Flush()
+		close(firstSent)
+		<-release // no further events, ever
+	}))
+	t.Cleanup(func() { close(release); hs.Close() })
+
+	cl := NewClient(hs.URL)
+	cl.HTTP = &http.Client{Transport: detachedTransport{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	got := make(chan error, 1)
+	sawFirst := make(chan struct{})
+	go func() {
+		first := true
+		got <- cl.Events(ctx, "job-1", func(ev Event) error {
+			if first {
+				first = false
+				close(sawFirst)
+			}
+			return nil
+		})
+	}()
+
+	<-firstSent
+	select {
+	case <-sawFirst:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first event never delivered")
+	}
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Events returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Events blocked past cancellation (stuck in the SSE read)")
+	}
+}
+
+// The same promptness through Wait against a real daemon: cancelling the
+// wait context while a job runs returns immediately with the context error
+// and leaves the job running (Wait abandons the watch, Cancel stops jobs).
+func TestWaitAbortsPromptlyOnCancel(t *testing.T) {
+	_, cl := startDaemon(t, Config{Workers: 1})
+	bg := context.Background()
+
+	st, err := cl.Submit(bg, longSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return s.Status == StatusRunning && s.Done > 0 }, "running")
+
+	ctx, cancel := context.WithCancel(bg)
+	got := make(chan error, 1)
+	go func() {
+		_, err := cl.Wait(ctx, st.ID, nil)
+		got <- err
+	}()
+	// Let the watcher attach, then cancel only the wait.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait blocked past cancellation")
+	}
+	// The job itself was not cancelled by abandoning the watch.
+	now, err := cl.Job(bg, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Status == StatusCancelled {
+		t.Fatal("abandoning a Wait cancelled the job")
+	}
+	if _, err := cl.Cancel(bg, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+}

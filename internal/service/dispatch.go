@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fleet mode: the dispatcher side of a multi-node tssd deployment.
+//
+// A dispatcher is a Server with Config.Fleet set. It exposes the same job
+// API as a plain daemon — so service.Client, tssim -remote, and tsbench
+// -remote work against it unchanged — but instead of simulating locally it
+// forwards each primary job to a registered remote worker (itself a plain
+// tssd daemon) over the existing HTTP/JSON + SSE protocol, with JobSpec and
+// its content-address Key as the wire unit. Everything content-addressed
+// composes across nodes for free:
+//
+//   - identical submissions coalesce at the dispatcher exactly as they do on
+//     one daemon (one remote execution serves all of them), and additionally
+//     coalesce on the worker if two dispatchers race;
+//   - the dispatcher's own result cache answers repeat submissions without
+//     touching a worker, so the fleet shares one result space;
+//   - because runs are deterministic, a job retried on a different worker
+//     after a mid-job failure produces byte-identical results, which is what
+//     makes transparent retry sound.
+//
+// Progress and log events relay from the worker's SSE stream into the
+// dispatcher's execution state, so a client watching the dispatcher sees the
+// same stream it would see watching the worker. Cancellation propagates the
+// other way: cancelling the dispatcher job cancels its context, which aborts
+// the relay and best-effort DELETEs the job on the worker.
+
+// remoteJobError marks a deterministic job-level failure reported by a
+// worker: the job itself is bad (it would fail identically anywhere), so the
+// dispatcher must not retry it on another node.
+type remoteJobError struct{ msg string }
+
+func (e remoteJobError) Error() string { return e.msg }
+
+// fleet is the dispatcher state behind a Server with Config.Fleet set.
+type fleet struct {
+	s     *Server
+	slots chan struct{} // bounds concurrent dispatches (QueueDepth)
+	stop  chan struct{} // ends the background health re-probe loop
+
+	mu      sync.Mutex
+	workers []*workerNode // registration order
+	nextID  uint64
+	retries uint64 // dispatch attempts moved to another node after a worker failure
+}
+
+// reprobeInterval paces the background health loop that returns recovered
+// workers to the rotation (without it, a node that failed once would only
+// ever be re-probed when no healthy worker remained).
+const reprobeInterval = 5 * time.Second
+
+func newFleet(s *Server) *fleet {
+	f := &fleet{s: s, slots: make(chan struct{}, s.cfg.QueueDepth), stop: make(chan struct{})}
+	go f.reprobeLoop()
+	return f
+}
+
+// reprobeLoop periodically probes unhealthy workers so a recovered node
+// rejoins the rotation even while healthy peers are absorbing the load.
+func (f *fleet) reprobeLoop() {
+	t := time.NewTicker(reprobeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		nodes := append([]*workerNode(nil), f.workers...)
+		f.mu.Unlock()
+		for _, w := range nodes {
+			if healthy, _ := w.state(); !healthy {
+				w.probe()
+			}
+		}
+	}
+}
+
+// tryAcquire takes a dispatch slot without blocking.
+func (f *fleet) tryAcquire() bool {
+	select {
+	case f.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch runs one primary job to completion on the fleet: pick a worker,
+// relay, and — when a worker dies mid-job — retry on another node until the
+// job finishes, is cancelled, or no healthy worker remains. Exactly-one
+// terminal transition is guaranteed by finishJob.
+func (f *fleet) dispatch(j *job) {
+	defer func() {
+		<-f.slots
+		f.s.wg.Done()
+	}()
+	e := j.exec
+	// The job is "running" from the fleet's perspective the moment a
+	// dispatch goroutine owns it; if a cancel won the race this transition
+	// fails and the context check below ends the dispatch immediately.
+	e.transition(StatusQueued, StatusRunning)
+
+	var excluded map[string]bool
+	var lastErr error
+	for {
+		if err := e.ctx.Err(); err != nil {
+			f.s.finishJob(j, nil, fmt.Errorf("dispatch cancelled: %w", err))
+			return
+		}
+		w := f.pick(excluded)
+		if w == nil {
+			if lastErr == nil {
+				lastErr = errors.New("no healthy workers registered")
+			}
+			f.s.finishJob(j, nil, fmt.Errorf("fleet: %w", lastErr))
+			return
+		}
+		result, err := f.runOn(w, j)
+		var jobErr remoteJobError
+		switch {
+		case err == nil:
+			f.s.finishJob(j, result, nil)
+			return
+		case e.ctx.Err() != nil:
+			// finishJob classifies this as cancelled via the context.
+			f.s.finishJob(j, nil, err)
+			return
+		case errors.As(err, &jobErr):
+			// Deterministic failure: retrying elsewhere reproduces it.
+			f.s.finishJob(j, nil, err)
+			return
+		default:
+			// Worker-level failure (connection refused, SSE cut mid-job,
+			// 5xx): mark the node unhealthy, exclude it from this job's
+			// future attempts, and move on.
+			lastErr = fmt.Errorf("worker %s (%s): %w", w.id, w.url, err)
+			if excluded == nil {
+				excluded = make(map[string]bool)
+			}
+			excluded[w.id] = true
+			w.noteFailure()
+			f.mu.Lock()
+			f.retries++
+			f.mu.Unlock()
+			f.s.appendLog(e, fmt.Sprintf("[dispatcher] worker %s failed (%v); retrying on another node", w.id, err))
+		}
+	}
+}
+
+// runOn executes the job on one worker: submit, relay the SSE stream into
+// the dispatcher-side execution, and fetch the canonical result bytes. Any
+// error that is not a remoteJobError is a worker-level failure the caller
+// may retry elsewhere; a cancelled dispatcher context additionally
+// best-effort cancels the job on the worker before returning.
+func (f *fleet) runOn(w *workerNode, j *job) ([]byte, error) {
+	e := j.exec
+	ctx := e.ctx
+	w.begin()
+	defer w.end()
+
+	st, err := w.cl.SubmitVia(ctx, &j.spec, append(append([]string(nil), j.via...), f.s.instance))
+	if err != nil {
+		return nil, err
+	}
+	remoteID := st.ID
+	// Whether the dispatch was cancelled or the relay broke, the worker —
+	// if it is still alive — must not keep burning a pool slot on a job
+	// nobody is waiting for: every early exit best-effort cancels the
+	// remote job on a fresh short-lived context (ours may be dead, and a
+	// severed relay connection says nothing about fresh connections).
+	abandon := func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		w.cl.Cancel(cctx, remoteID)
+	}
+	if st.Key != j.key {
+		// A worker on different simulator semantics would silently serve
+		// results from a different content address; refuse loudly (and
+		// stop the run the worker just started for us).
+		abandon()
+		return nil, remoteJobError{fmt.Sprintf(
+			"worker %s computed key %.12s… for key %.12s… (mixed simulator versions in the fleet?)",
+			w.id, st.Key, j.key)}
+	}
+	if !terminalStatus(st.Status) {
+		st, err = w.cl.Wait(ctx, remoteID, func(ev Event) { f.relay(e, ev) })
+		if err != nil {
+			abandon()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+	}
+	switch st.Status {
+	case StatusDone:
+		b, err := w.cl.Result(ctx, remoteID)
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	case StatusFailed:
+		return nil, remoteJobError{st.Error}
+	case StatusCancelled:
+		// Nobody but this dispatcher should cancel a worker job it owns;
+		// treat an externally cancelled remote job as a worker fault and
+		// retry elsewhere.
+		return nil, fmt.Errorf("job cancelled on the worker")
+	}
+	abandon()
+	return nil, fmt.Errorf("worker job ended in unexpected state %q", st.Status)
+}
+
+// relay publishes one worker SSE event into the dispatcher-side execution,
+// so dispatcher watchers see the worker's progress and log stream live.
+// Status/result/error events are not relayed: terminal state is published
+// exactly once by finishJob, from the fetched canonical result.
+func (f *fleet) relay(e *execution, ev Event) {
+	switch ev.Type {
+	case "progress":
+		var p struct{ Done, Total uint64 }
+		if json.Unmarshal(ev.Data, &p) == nil {
+			e.set(func() { e.done, e.total = p.Done, p.Total })
+		}
+	case "log":
+		var l struct{ Line string }
+		if json.Unmarshal(ev.Data, &l) == nil {
+			f.s.appendLog(e, l.Line)
+		}
+	}
+}
+
+// pick chooses the healthy, non-excluded worker with the fewest active
+// dispatches (ties: registration order). If every candidate is marked
+// unhealthy, each is probed once via /healthz so a recovered node rejoins
+// the rotation without manual intervention.
+func (f *fleet) pick(excluded map[string]bool) *workerNode {
+	f.mu.Lock()
+	candidates := make([]*workerNode, 0, len(f.workers))
+	for _, w := range f.workers {
+		if !excluded[w.id] {
+			candidates = append(candidates, w)
+		}
+	}
+	f.mu.Unlock()
+
+	var best *workerNode
+	bestActive := 0
+	for _, w := range candidates {
+		healthy, active := w.state()
+		if !healthy {
+			continue
+		}
+		if best == nil || active < bestActive {
+			best, bestActive = w, active
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, w := range candidates {
+		if w.probe() {
+			return w
+		}
+	}
+	return nil
+}
+
+// FleetStats is the dispatcher section of GET /stats.
+type FleetStats struct {
+	// Retries counts dispatch attempts that moved to another node after a
+	// worker failure.
+	Retries uint64 `json:"retries"`
+	// Workers lists every registered worker with its dispatch counters.
+	Workers []WorkerInfo `json:"workers"`
+}
+
+func (f *fleet) stats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FleetStats{Retries: f.retries, Workers: make([]WorkerInfo, 0, len(f.workers))}
+	for _, w := range f.workers {
+		st.Workers = append(st.Workers, w.info())
+	}
+	return st
+}

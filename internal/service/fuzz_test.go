@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tasksuperscalar/internal/workloads"
+)
+
+// fuzzSpec builds a sim JobSpec from raw fuzz inputs. omit's low bits mark
+// fields to leave unset (nil/zero) in the "defaulted" spec; the returned
+// explicit spec carries the documented default in every omitted slot and is
+// otherwise identical — the pair whose keys must collide.
+func fuzzSpec(wl uint8, tasks int, seed int64, rt uint8, cores, trs, ort, trskb, ortkb int, memory bool, omit uint8) (defaulted, explicit *JobSpec) {
+	pos := func(v, m, min int) int {
+		v %= m
+		if v < 0 {
+			v = -v
+		}
+		return v + min
+	}
+	all := workloads.All()
+	name := all[int(wl)%len(all)].Name
+	runtimes := []string{"hardware", "software", "sequential"}
+	runtime := runtimes[int(rt)%len(runtimes)]
+	tasks = pos(tasks, 20000, 1)
+	cores = pos(cores, 512, 1)
+	trs = pos(trs, 16, 1)
+	ort = pos(ort, 8, 1)
+	trskb = pos(trskb, 2048, 1)
+	ortkb = pos(ortkb, 1024, 1)
+
+	build := func(fillDefaults bool) *JobSpec {
+		s := &SimSpec{Workload: name, Machine: MachineSpec{Memory: memory}}
+		set := func(bit uint8, apply func(), def func()) {
+			if omit&bit == 0 {
+				apply()
+			} else if fillDefaults {
+				def()
+			}
+		}
+		set(1<<0, func() { v := tasks; s.Tasks = &v }, func() { v := 3000; s.Tasks = &v })
+		set(1<<1, func() { v := seed; s.Seed = &v }, func() { v := int64(42); s.Seed = &v })
+		set(1<<2, func() { s.Machine.Runtime = runtime }, func() { s.Machine.Runtime = "hardware" })
+		set(1<<3, func() { s.Machine.Cores = cores }, func() { s.Machine.Cores = 256 })
+		set(1<<4, func() { s.Machine.TRS = trs }, func() { s.Machine.TRS = 8 })
+		set(1<<5, func() { s.Machine.ORT = ort }, func() { s.Machine.ORT = 2 })
+		set(1<<6, func() { s.Machine.TRSKB = trskb }, func() { s.Machine.TRSKB = 768 })
+		set(1<<7, func() { s.Machine.ORTKB = ortkb }, func() { s.Machine.ORTKB = 256 })
+		return &JobSpec{Kind: KindSim, Sim: s}
+	}
+	return build(false), build(true)
+}
+
+// roundTrip copies a spec through its JSON wire form.
+func roundTrip(t *testing.T, s *JobSpec) *JobSpec {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JobSpec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// FuzzJobSpecKey drives the content-address contract that makes the result
+// cache and cross-node coalescing sound: a spec with defaulted fields and
+// the same spec with the defaults written out explicitly must hash to the
+// same key; the key must survive the JSON wire round-trip and repeated
+// normalization; and any change to a semantic field must change the key.
+func FuzzJobSpecKey(f *testing.F) {
+	f.Add(uint8(0), 3000, int64(42), uint8(0), 256, 8, 2, 768, 256, false, uint8(0))
+	f.Add(uint8(0), 3000, int64(42), uint8(0), 256, 8, 2, 768, 256, false, uint8(0xff))
+	f.Add(uint8(3), 800, int64(0), uint8(1), 32, 4, 1, 512, 128, true, uint8(0x55))
+	f.Add(uint8(7), 1, int64(-1), uint8(2), 1, 1, 1, 1, 1, false, uint8(0x0f))
+	f.Add(uint8(255), -12345, int64(1<<40), uint8(9), -7, 100, -3, 99999, 0, true, uint8(0xaa))
+
+	f.Fuzz(func(t *testing.T, wl uint8, tasks int, seed int64, rt uint8, cores, trs, ort, trskb, ortkb int, memory bool, omit uint8) {
+		defaulted, explicit := fuzzSpec(wl, tasks, seed, rt, cores, trs, ort, trskb, ortkb, memory, omit)
+		if err := defaulted.Normalize(); err != nil {
+			// Sanitized specs are valid by construction; the explicit
+			// twin must agree about any rejection.
+			if err2 := explicit.Normalize(); err2 == nil {
+				t.Fatalf("defaulted spec rejected (%v) but explicit twin accepted", err)
+			}
+			return
+		}
+		if err := explicit.Normalize(); err != nil {
+			t.Fatalf("explicit twin rejected: %v", err)
+		}
+
+		key := defaulted.Key()
+		if len(key) != 64 {
+			t.Fatalf("key %q is not a hex sha256", key)
+		}
+		// Defaulted and explicit-default specs share one content address.
+		if ek := explicit.Key(); ek != key {
+			t.Fatalf("defaulted key %s != explicit-default key %s", key, ek)
+		}
+		// The key survives the wire round-trip and re-normalization.
+		rt2 := roundTrip(t, defaulted)
+		if err := rt2.Normalize(); err != nil {
+			t.Fatalf("round-tripped spec rejected: %v", err)
+		}
+		if rk := rt2.Key(); rk != key {
+			t.Fatalf("round-tripped key %s != original %s", rk, key)
+		}
+		if err := defaulted.Normalize(); err != nil {
+			t.Fatalf("re-normalize: %v", err)
+		}
+		if k2 := defaulted.Key(); k2 != key {
+			t.Fatalf("key not stable across re-normalization: %s vs %s", k2, key)
+		}
+
+		// Any semantic difference must produce a different key. Each
+		// mutation edits one normalized field to a value guaranteed to
+		// differ from the current one.
+		mutate := func(name string, edit func(*JobSpec)) {
+			m := roundTrip(t, defaulted)
+			edit(m)
+			if mk := m.Key(); mk == key {
+				t.Fatalf("mutating %s did not change the key (spec %+v machine %+v)",
+					name, *m.Sim, m.Sim.Machine)
+			}
+		}
+		mutate("seed", func(s *JobSpec) { v := *s.Sim.Seed + 1; s.Sim.Seed = &v })
+		mutate("tasks", func(s *JobSpec) { v := *s.Sim.Tasks + 1; s.Sim.Tasks = &v })
+		mutate("cores", func(s *JobSpec) { s.Sim.Machine.Cores++ })
+		mutate("trs", func(s *JobSpec) { s.Sim.Machine.TRS++ })
+		mutate("ort", func(s *JobSpec) { s.Sim.Machine.ORT++ })
+		mutate("trskb", func(s *JobSpec) { s.Sim.Machine.TRSKB++ })
+		mutate("ortkb", func(s *JobSpec) { s.Sim.Machine.ORTKB++ })
+		mutate("memory", func(s *JobSpec) { s.Sim.Machine.Memory = !s.Sim.Machine.Memory })
+		mutate("runtime", func(s *JobSpec) {
+			if s.Sim.Machine.Runtime == "hardware" {
+				s.Sim.Machine.Runtime = "software"
+			} else {
+				s.Sim.Machine.Runtime = "hardware"
+			}
+		})
+		mutate("workload", func(s *JobSpec) {
+			all := workloads.All()
+			for _, w := range all {
+				if w.Name != s.Sim.Workload {
+					s.Sim.Workload = w.Name
+					return
+				}
+			}
+		})
+	})
+}

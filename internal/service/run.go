@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -103,8 +104,9 @@ func EncodeSimResult(spec *SimSpec, res *tss.Result) ([]byte, error) {
 
 // runSim executes a normalized sim spec and returns its canonical result
 // bytes. progress (may be nil) observes retirement counts at ~1% granularity
-// plus a final exact count.
-func runSim(spec *SimSpec, progress func(done, total uint64)) ([]byte, error) {
+// plus a final exact count. Cancelling ctx abandons the simulation within
+// one engine cancellation-poll interval.
+func runSim(ctx context.Context, spec *SimSpec, progress func(done, total uint64)) ([]byte, error) {
 	wl, ok := workloads.ByName(spec.Workload)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
@@ -123,7 +125,7 @@ func runSim(spec *SimSpec, progress func(done, total uint64)) ([]byte, error) {
 			}
 		}
 	}
-	res, err := tss.RunTasks(b.Tasks, cfg)
+	res, err := tss.RunTasksCtx(ctx, b.Tasks, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -156,8 +158,9 @@ func (w *lineWriter) Write(p []byte) (int, error) {
 
 // runSweep executes a normalized sweep spec and returns its canonical
 // result bytes. logLine (may be nil) observes each formatted output line as
-// the experiment prints it.
-func runSweep(spec *SweepSpec, logLine func(string)) ([]byte, error) {
+// the experiment prints it. Cancelling ctx abandons the sweep between its
+// constituent simulations (point granularity).
+func runSweep(ctx context.Context, spec *SweepSpec, logLine func(string)) ([]byte, error) {
 	e, ok := experiments.Get(spec.Experiment)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
@@ -168,7 +171,7 @@ func runSweep(spec *SweepSpec, logLine func(string)) ([]byte, error) {
 	if logLine != nil {
 		w = &lineWriter{buf: &buf, emit: logLine}
 	}
-	if err := e.Run(w, spec.Options(sink)); err != nil {
+	if err := e.Run(w, spec.Options(ctx, sink)); err != nil {
 		return nil, err
 	}
 	out := SweepResult{
@@ -186,9 +189,9 @@ func runSweep(spec *SweepSpec, logLine func(string)) ([]byte, error) {
 func RunSpec(spec *JobSpec) ([]byte, error) {
 	switch spec.Kind {
 	case KindSim:
-		return runSim(spec.Sim, nil)
+		return runSim(context.Background(), spec.Sim, nil)
 	case KindSweep:
-		return runSweep(spec.Sweep, nil)
+		return runSweep(context.Background(), spec.Sweep, nil)
 	}
 	return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
 }

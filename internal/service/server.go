@@ -1,20 +1,32 @@
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 )
 
-// Job statuses, in lifecycle order.
+// Job statuses, in lifecycle order. A job ends in exactly one of the three
+// terminal states: done, failed, or cancelled.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
 )
+
+// terminalStatus reports whether a status is one of the terminal states.
+func terminalStatus(st string) bool {
+	return st == StatusDone || st == StatusFailed || st == StatusCancelled
+}
 
 // Config sizes a Server.
 type Config struct {
@@ -37,6 +49,13 @@ type Config struct {
 	// bytes — are evicted and subsequently 404. Results stay available
 	// through the LRU cache via re-submission of the same spec.
 	MaxJobs int
+	// Fleet switches the daemon into dispatcher mode: instead of running
+	// jobs on a local pool it fans them out to remote tssd workers that
+	// registered via POST /v1/workers, coalescing identical jobs across
+	// nodes and retrying on another worker when one dies mid-job. Workers
+	// is ignored (execution capacity lives on the workers); QueueDepth
+	// bounds the concurrent dispatches.
+	Fleet bool
 }
 
 // execution is the shared run state of one content-addressed job. Jobs that
@@ -53,12 +72,41 @@ type execution struct {
 	result  []byte
 	errMsg  string
 	version uint64 // bumped on every observable change
+
+	// ctx cancels the execution cooperatively (DELETE /v1/jobs/{id});
+	// cancel is idempotent and always called once the execution reaches a
+	// terminal state. Cache-hit answers never run, so they carry neither.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 func newExecution(status string) *execution {
 	e := &execution{status: status}
 	e.cond = sync.NewCond(&e.mu)
 	return e
+}
+
+// newRunnableExecution returns a queued execution with a cancellation
+// context attached (for jobs that will actually run, locally or remotely).
+func newRunnableExecution() *execution {
+	e := newExecution(StatusQueued)
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+	return e
+}
+
+// transition moves status from → to atomically, waking watchers; it reports
+// whether the move happened. A failed transition means another actor won the
+// race (e.g. a cancel flipped a queued job before its worker popped it).
+func (e *execution) transition(from, to string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.status != from {
+		return false
+	}
+	e.status = to
+	e.version++
+	e.cond.Broadcast()
+	return true
 }
 
 // set applies fn under the lock and wakes every watcher.
@@ -102,7 +150,7 @@ func (e *execution) snapshot() execSnapshot {
 	}
 }
 
-func (s execSnapshot) terminal() bool { return s.status == StatusDone || s.status == StatusFailed }
+func (s execSnapshot) terminal() bool { return terminalStatus(s.status) }
 
 // job is one submission: its own identity and spec, sharing an execution
 // with any identical submissions it was coalesced with.
@@ -111,17 +159,20 @@ type job struct {
 	spec      JobSpec
 	key       string
 	exec      *execution
-	cached    bool // answered from the result cache
-	coalesced bool // attached to an identical in-flight run
+	cached    bool     // answered from the result cache
+	coalesced bool     // attached to an identical in-flight run
+	via       []string // dispatcher chain that routed the job here (fleet)
 }
 
 // Server is the tssd daemon: an http.Handler plus the worker pool and
 // result cache behind it. Create with New, serve via Handler, and Close when
 // done.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	mux   *http.ServeMux
+	cfg      Config
+	cache    *Cache
+	mux      *http.ServeMux
+	fleet    *fleet // non-nil in dispatcher mode
+	instance string // unique per-process daemon identity (see handleHealthz)
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -135,6 +186,7 @@ type Server struct {
 	coalesced uint64
 	completed uint64
 	failed    uint64
+	cancelled uint64
 }
 
 // New starts a server: its workers are running on return.
@@ -157,15 +209,24 @@ func New(cfg Config) *Server {
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		instance: newInstanceID(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Fleet {
+		s.fleet = newFleet(s)
+		s.mux.HandleFunc("POST /v1/workers", s.fleet.handleJoin)
+		s.mux.HandleFunc("GET /v1/workers", s.fleet.handleList)
+		s.mux.HandleFunc("DELETE /v1/workers/{id}", s.fleet.handleLeave)
+		return s // execution capacity lives on the workers
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -176,13 +237,16 @@ func New(cfg Config) *Server {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close rejects further submissions and waits for the workers to drain.
-// In-flight jobs finish; queued jobs still run (the queue is drained, not
-// dropped). Safe to call once.
+// Close rejects further submissions and waits for the workers (or, in fleet
+// mode, the in-flight dispatches) to drain. In-flight jobs finish; queued
+// jobs still run (the queue is drained, not dropped). Safe to call once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	if s.fleet != nil {
+		close(s.fleet.stop)
+	}
 	close(s.queue)
 	s.wg.Wait()
 }
@@ -194,57 +258,99 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes a primary job and publishes its outcome to the shared
-// execution, the cache, and the server counters.
+// runJob executes a primary job on the local pool and publishes its outcome
+// to the shared execution, the cache, and the server counters.
 func (s *Server) runJob(j *job) {
 	e := j.exec
-	e.set(func() { e.status = StatusRunning })
+	if !e.transition(StatusQueued, StatusRunning) {
+		// Cancelled while queued: the cancel handler already published
+		// the terminal state and released the inflight slot; just free
+		// the worker.
+		return
+	}
 
 	var result []byte
 	var err error
 	switch j.spec.Kind {
 	case KindSim:
-		result, err = runSim(j.spec.Sim, func(done, total uint64) {
+		result, err = runSim(e.ctx, j.spec.Sim, func(done, total uint64) {
 			e.set(func() { e.done, e.total = done, total })
 		})
 	case KindSweep:
-		result, err = runSweep(j.spec.Sweep, func(line string) {
-			e.set(func() {
-				e.logs = append(e.logs, line)
-				if over := len(e.logs) - s.cfg.MaxLogLines; over > 0 {
-					e.logs = e.logs[over:]
-					e.logBase += over
-				}
-			})
+		result, err = runSweep(e.ctx, j.spec.Sweep, func(line string) {
+			s.appendLog(e, line)
 		})
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
 	}
+	s.finishJob(j, result, err)
+}
 
-	if err == nil {
+// appendLog appends one log line to an execution, trimming to the retention
+// bound and waking the SSE watchers.
+func (s *Server) appendLog(e *execution, line string) {
+	e.set(func() {
+		e.logs = append(e.logs, line)
+		if over := len(e.logs) - s.cfg.MaxLogLines; over > 0 {
+			e.logs = e.logs[over:]
+			e.logBase += over
+		}
+	})
+}
+
+// finishJob publishes a primary execution's terminal state exactly once:
+// done with its result on success, cancelled when the execution's context
+// was cancelled, failed otherwise. It stores successful results in the
+// cache, releases the key's inflight slot, updates the counters, and
+// re-checks the registry bound so a burst that finishes after its
+// submissions still converges to MaxJobs. If the execution is already
+// terminal (a cancel flipped it while queued), the call is a no-op, which
+// is what makes status transitions idempotent under every race.
+func (s *Server) finishJob(j *job, result []byte, err error) {
+	e := j.exec
+	status := StatusDone
+	if err != nil {
+		if errors.Is(err, context.Canceled) || (e.ctx != nil && e.ctx.Err() != nil) {
+			status = StatusCancelled
+		} else {
+			status = StatusFailed
+		}
+	}
+
+	e.mu.Lock()
+	if terminalStatus(e.status) {
+		e.mu.Unlock()
+		return
+	}
+	switch status {
+	case StatusDone:
+		e.result = result
+	default:
+		e.errMsg = err.Error()
+	}
+	e.status = status
+	e.version++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if e.cancel != nil {
+		e.cancel()
+	}
+
+	if status == StatusDone {
 		s.cache.Put(j.key, result)
 	}
 	s.mu.Lock()
-	delete(s.inflight, j.key)
-	if err == nil {
-		s.completed++
-	} else {
-		s.failed++
+	if p := s.inflight[j.key]; p != nil && p.exec == e {
+		delete(s.inflight, j.key)
 	}
-	s.mu.Unlock()
-	e.set(func() {
-		if err != nil {
-			e.status = StatusFailed
-			e.errMsg = err.Error()
-		} else {
-			e.status = StatusDone
-			e.result = result
-		}
-	})
-	// This job just became evictable; re-check the registry bound so a
-	// burst that finishes after its submissions still converges to MaxJobs
-	// without waiting for the next submit.
-	s.mu.Lock()
+	switch status {
+	case StatusDone:
+		s.completed++
+	case StatusFailed:
+		s.failed++
+	case StatusCancelled:
+		s.cancelled++
+	}
 	s.evictJobsLocked()
 	s.mu.Unlock()
 }
@@ -259,7 +365,8 @@ type SubmitStatus struct {
 	// Key is the job's content address (hex SHA-256 of the normalized
 	// spec; see JobSpec.Key).
 	Key string `json:"key"`
-	// Status is queued, running, done, or failed.
+	// Status is queued, running, or one of the terminal states: done,
+	// failed, or cancelled.
 	Status string `json:"status"`
 	// Cached reports that the result was served from the cache without
 	// re-simulating.
@@ -290,6 +397,21 @@ func (s *Server) statusOf(j *job) SubmitStatus {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var via []string
+	if h := r.Header.Get(DispatchPathHeader); h != "" {
+		via = strings.Split(h, ",")
+		for _, inst := range via {
+			if inst == s.instance {
+				// The job has already passed through this daemon: the
+				// fleet topology contains a dispatch cycle (dispatchers
+				// registered as each other's workers). Accepting it would
+				// coalesce the job with itself and hang both ends.
+				httpError(w, http.StatusBadRequest,
+					"dispatch loop detected: this daemon is already in the job's dispatch path")
+				return
+			}
+		}
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -309,7 +431,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
-	j := &job{spec: spec, key: key}
+	j := &job{spec: spec, key: key, via: via}
 	if primary, ok := s.inflight[key]; ok {
 		// Identical spec already queued or running: share its execution.
 		j.exec = primary.exec
@@ -324,8 +446,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.cached = true
 		s.register(j)
 		s.mu.Unlock()
+	} else if s.fleet != nil {
+		j.exec = newRunnableExecution()
+		// Dispatcher mode: the job is fanned out to a remote worker by a
+		// dispatch goroutine, bounded by the fleet's slot semaphore.
+		if !s.fleet.tryAcquire() {
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable, "dispatch queue full (%d in flight)", s.cfg.QueueDepth)
+			return
+		}
+		s.register(j)
+		s.inflight[key] = j
+		s.wg.Add(1)
+		go s.fleet.dispatch(j)
+		s.mu.Unlock()
 	} else {
-		j.exec = newExecution(StatusQueued)
+		j.exec = newRunnableExecution()
 		// Non-blocking enqueue under the lock: either the job is queued
 		// and registered atomically, or nothing is recorded at all.
 		select {
@@ -397,6 +533,50 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.statusOf(j))
 }
 
+// handleCancel implements DELETE /v1/jobs/{id}: cooperative, idempotent
+// cancellation. A queued job flips straight to cancelled (it will be skipped
+// when a worker pops it); a running job has its context cancelled, and the
+// engine loop abandons the run within one cancellation-poll interval (a
+// dispatched job is also cancelled on its remote worker, best effort); a
+// terminal job — done, failed, or already cancelled — is left untouched.
+// The response is always the job's current status, so repeated DELETEs
+// observe a stable terminal state. Cancelling any submission that coalesced
+// onto a shared execution cancels that execution for every submission
+// attached to it.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	e := j.exec
+
+	cancelledNow := false
+	e.mu.Lock()
+	if e.status == StatusQueued {
+		e.status = StatusCancelled
+		e.errMsg = "cancelled before execution"
+		e.version++
+		e.cond.Broadcast()
+		cancelledNow = true
+	}
+	e.mu.Unlock()
+	if e.cancel != nil {
+		e.cancel() // idempotent; running executions observe it cooperatively
+	}
+	if cancelledNow {
+		s.mu.Lock()
+		if p := s.inflight[j.key]; p != nil && p.exec == e {
+			delete(s.inflight, j.key)
+		}
+		s.cancelled++
+		s.evictJobsLocked()
+		s.mu.Unlock()
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statusOf(j))
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	list := make([]*job, 0, len(s.order))
@@ -428,6 +608,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(snap.result)
 	case StatusFailed:
 		httpError(w, http.StatusConflict, "job failed: %s", snap.errMsg)
+	case StatusCancelled:
+		httpError(w, http.StatusConflict, "job cancelled: %s", snap.errMsg)
 	default:
 		httpError(w, http.StatusConflict, "job is %s; result not available yet", snap.status)
 	}
@@ -490,9 +672,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			emit("log", map[string]any{"line": snap.logs[nextLog-snap.logBase]})
 		}
 		if snap.terminal() {
-			if snap.status == StatusDone {
+			switch snap.status {
+			case StatusDone:
 				fmt.Fprintf(w, "event: result\ndata: %s\n\n", snap.result)
-			} else {
+			case StatusCancelled:
+				emit("cancelled", map[string]any{"error": snap.errMsg})
+			default:
 				emit("error", map[string]any{"error": snap.errMsg})
 			}
 			fl.Flush()
@@ -516,18 +701,24 @@ type ServerStats struct {
 	// Workers is the job pool width; QueueDepth its submit bound.
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
-	// Submitted counts every accepted job; Completed/Failed count
-	// finished primary executions; Coalesced counts submissions that
-	// attached to an identical in-flight run; Inflight is the number of
-	// distinct executions currently queued or running.
+	// Submitted counts every accepted job; Completed/Failed/Cancelled
+	// count finished primary executions by terminal state; Coalesced
+	// counts submissions that attached to an identical in-flight run;
+	// Inflight is the number of distinct executions currently queued or
+	// running. Every settled submission is exactly one of completed,
+	// failed, cancelled, coalesced, or a cache hit — the conservation
+	// invariant the concurrency tests assert.
 	Submitted uint64 `json:"submitted"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
 	Coalesced uint64 `json:"coalesced"`
 	Inflight  int    `json:"inflight"`
 	// Cache reports the result cache's occupancy and hit/miss/eviction
 	// counters.
 	Cache CacheStats `json:"cache"`
+	// Fleet reports dispatcher-mode state (nil on a plain daemon).
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // Stats snapshots the daemon counters (also served on /stats).
@@ -539,11 +730,16 @@ func (s *Server) Stats() ServerStats {
 		Submitted:  s.nextID,
 		Completed:  s.completed,
 		Failed:     s.failed,
+		Cancelled:  s.cancelled,
 		Coalesced:  s.coalesced,
 		Inflight:   len(s.inflight),
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
+	if s.fleet != nil {
+		fs := s.fleet.stats()
+		st.Fleet = &fs
+	}
 	return st
 }
 
@@ -552,9 +748,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
+// healthz is the body of GET /healthz. Instance uniquely identifies the
+// daemon process; a fleet dispatcher compares it against its own on worker
+// registration to reject a join that would dispatch jobs back to itself.
+type healthz struct {
+	OK       bool   `json:"ok"`
+	Instance string `json:"instance"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"ok":true}`)
+	json.NewEncoder(w).Encode(healthz{OK: true, Instance: s.instance})
+}
+
+// newInstanceID returns a random per-process daemon identity.
+func newInstanceID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

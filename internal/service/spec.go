@@ -12,11 +12,21 @@
 // cache without re-simulating, and concurrent identical submissions coalesce
 // onto a single execution.
 //
+// Jobs are cancelled cooperatively (DELETE /v1/jobs/{id}): queued jobs flip
+// to cancelled immediately, running jobs stop within one engine
+// cancellation-poll interval, and terminal jobs are untouched — the call is
+// idempotent. In fleet mode (Config.Fleet) the same Server becomes a
+// dispatcher: jobs fan out to remote worker daemons registered via
+// POST /v1/workers, identical jobs coalesce across nodes, the dispatcher's
+// cache answers repeats without touching a worker, and a job whose worker
+// dies mid-run is retried elsewhere with byte-identical results.
+//
 // The HTTP API is documented in docs/SERVICE.md; cmd/tssd is the daemon
 // binary and Client is the Go client used by the CLIs' -remote mode.
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -220,14 +230,16 @@ func (s *SimSpec) Config() tss.Config {
 	return cfg
 }
 
-// Options builds the experiment options a normalized sweep spec describes.
-func (s *SweepSpec) Options(sink *experiments.Sink) experiments.Options {
+// Options builds the experiment options a normalized sweep spec describes;
+// ctx cancels the sweep between its constituent simulations.
+func (s *SweepSpec) Options(ctx context.Context, sink *experiments.Sink) experiments.Options {
 	return experiments.Options{
 		Quick:   !s.Full,
 		Seed:    *s.Seed,
 		Cores:   s.Cores,
 		Workers: s.Workers,
 		Sink:    sink,
+		Context: ctx,
 	}
 }
 

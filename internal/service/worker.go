@@ -1,0 +1,260 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The worker side of fleet mode: registration plumbing between a plain tssd
+// daemon (the worker) and a dispatcher (a Server with Config.Fleet set).
+// A worker needs no special build — any tssd daemon whose URL the dispatcher
+// can reach is a valid worker; joining is one POST /v1/workers carrying that
+// URL (cmd/tssd -join does it at startup, re-registering with backoff so a
+// restarted dispatcher re-learns its fleet).
+
+// WorkerInfo is the wire form of one registered fleet worker
+// (POST/GET /v1/workers and the fleet section of /stats).
+type WorkerInfo struct {
+	// ID names the worker for DELETE /v1/workers/{id}.
+	ID string `json:"id"`
+	// URL is the worker daemon's base URL as registered.
+	URL string `json:"url"`
+	// Healthy is false after a dispatch to the worker failed; an unhealthy
+	// worker rejoins the rotation when a /healthz probe succeeds (or when
+	// it re-registers).
+	Healthy bool `json:"healthy"`
+	// Active is the number of jobs currently dispatched to the worker.
+	Active int `json:"active"`
+	// Dispatched and Failures count dispatch attempts and worker-level
+	// failures over the worker's registration lifetime.
+	Dispatched uint64 `json:"dispatched"`
+	Failures   uint64 `json:"failures"`
+}
+
+// workerNode is the dispatcher's handle on one registered worker.
+type workerNode struct {
+	id  string
+	url string
+	cl  *Client
+
+	mu         sync.Mutex
+	healthy    bool
+	active     int
+	dispatched uint64
+	failures   uint64
+}
+
+func (w *workerNode) begin() {
+	w.mu.Lock()
+	w.active++
+	w.dispatched++
+	w.mu.Unlock()
+}
+
+func (w *workerNode) end() {
+	w.mu.Lock()
+	w.active--
+	w.mu.Unlock()
+}
+
+func (w *workerNode) noteFailure() {
+	w.mu.Lock()
+	w.healthy = false
+	w.failures++
+	w.mu.Unlock()
+}
+
+func (w *workerNode) state() (healthy bool, active int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy, w.active
+}
+
+func (w *workerNode) info() WorkerInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerInfo{
+		ID: w.id, URL: w.url, Healthy: w.healthy,
+		Active: w.active, Dispatched: w.dispatched, Failures: w.failures,
+	}
+}
+
+// probeHealthz fetches a daemon's /healthz with a short timeout and returns
+// its instance identity.
+func probeHealthz(cl *Client) (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var h healthz
+	if err := cl.getJSON(ctx, "/healthz", &h); err != nil {
+		return "", err
+	}
+	return h.Instance, nil
+}
+
+// probe checks the worker's /healthz and, on success, marks the worker
+// healthy again.
+func (w *workerNode) probe() bool {
+	if _, err := probeHealthz(w.cl); err != nil {
+		return false
+	}
+	w.mu.Lock()
+	w.healthy = true
+	w.mu.Unlock()
+	return true
+}
+
+// joinRequest is the body of POST /v1/workers.
+type joinRequest struct {
+	// URL is the joining worker's base URL, reachable from the dispatcher.
+	URL string `json:"url"`
+}
+
+// handleJoin implements POST /v1/workers: register (or re-register) a worker
+// by URL. The worker is probed before acceptance — an unreachable URL is
+// rejected (joiners retry; see JoinFleet), and so is a URL that reaches this
+// dispatcher itself, which would otherwise dispatch every job back onto its
+// own queue, coalesce it with itself, and deadlock. Joining is idempotent —
+// a URL that is already registered gets its existing ID back and is marked
+// healthy again, which is how a restarted worker or dispatcher converges
+// without duplicate nodes.
+func (f *fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad join request: %v", err)
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		httpError(w, http.StatusBadRequest, "worker url %q is not absolute", req.URL)
+		return
+	}
+	base := strings.TrimRight(req.URL, "/")
+
+	instance, err := probeHealthz(NewClient(base))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "worker at %s is unreachable: %v", base, err)
+		return
+	}
+	if instance == f.s.instance {
+		httpError(w, http.StatusBadRequest, "worker url %s reaches this dispatcher itself; a dispatcher cannot be its own worker", base)
+		return
+	}
+
+	f.mu.Lock()
+	for _, n := range f.workers {
+		if n.url == base {
+			f.mu.Unlock()
+			n.mu.Lock()
+			n.healthy = true
+			n.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(n.info())
+			return
+		}
+	}
+	f.nextID++
+	n := &workerNode{
+		id:      fmt.Sprintf("worker-%d", f.nextID),
+		url:     base,
+		cl:      NewClient(base),
+		healthy: true,
+	}
+	f.workers = append(f.workers, n)
+	f.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(n.info())
+}
+
+// handleList implements GET /v1/workers.
+func (f *fleet) handleList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(f.stats().Workers)
+}
+
+// handleLeave implements DELETE /v1/workers/{id}: deregister a worker. Jobs
+// currently relayed to it finish (or fail over) on their own; the worker
+// just stops receiving new dispatches. Removing an unknown ID is a 404.
+func (f *fleet) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f.mu.Lock()
+	for i, n := range f.workers {
+		if n.id == id {
+			f.workers = append(f.workers[:i], f.workers[i+1:]...)
+			f.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(n.info())
+			return
+		}
+	}
+	f.mu.Unlock()
+	httpError(w, http.StatusNotFound, "no such worker %q", id)
+}
+
+// JoinFleet registers the worker daemon reachable at advertiseURL with the
+// fleet dispatcher at dispatcherURL, retrying with backoff until it succeeds
+// or ctx ends. It returns the assigned worker ID. cmd/tssd -join calls this
+// at startup.
+func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string) (string, error) {
+	cl := NewClient(dispatcherURL)
+	backoff := time.Second
+	for {
+		info, err := cl.JoinWorker(ctx, advertiseURL)
+		if err == nil {
+			return info.ID, nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", fmt.Errorf("joining fleet at %s: %w (last error: %v)", dispatcherURL, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// JoinWorker registers workerURL with the dispatcher this client points at
+// (POST /v1/workers) and returns the registration record.
+func (c *Client) JoinWorker(ctx context.Context, workerURL string) (*WorkerInfo, error) {
+	body, err := json.Marshal(joinRequest{URL: workerURL})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/workers", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var info WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Workers lists the dispatcher's registered workers (GET /v1/workers).
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var ws []WorkerInfo
+	if err := c.getJSON(ctx, "/v1/workers", &ws); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}

@@ -14,6 +14,8 @@
 // for the invariants hot senders rely on.
 package sim
 
+import "context"
+
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle = uint64
 
@@ -165,6 +167,48 @@ func (e *Engine) Run() Cycle {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// DefaultCancelCheckCycles is the cancellation-poll granularity RunContext
+// uses when the caller passes zero: fine enough that a cancelled multi-second
+// run stops within milliseconds of wall time, coarse enough that the check is
+// invisible in the event loop's profile.
+const DefaultCancelCheckCycles Cycle = 1 << 16
+
+// RunContext fires events until none remain or ctx is cancelled, polling
+// ctx.Err at a bounded simulated-cycle granularity: once on entry, then
+// after the first event fired at or beyond each checkEvery-cycle boundary
+// (zero means DefaultCancelCheckCycles). Cancellation is cooperative and
+// strictly observational: the poll never reorders, drops, or injects
+// events, so a run that is not cancelled is cycle-exact identical to Run —
+// and because the poll piggybacks on the clock Step already advanced, the
+// event loop pays one integer compare per event, never an extra queue
+// inspection. On cancellation the clock stays at the last fired event and
+// ctx.Err() is returned; the pending events are left in the queue (the
+// caller abandons the simulation).
+//
+// A ctx that can never be cancelled (nil, or Done() == nil like
+// context.Background()) skips the polling entirely and is exactly Run.
+func (e *Engine) RunContext(ctx context.Context, checkEvery Cycle) (Cycle, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e.Run(), nil
+	}
+	if checkEvery == 0 {
+		checkEvery = DefaultCancelCheckCycles
+	}
+	if err := ctx.Err(); err != nil {
+		return e.now, err
+	}
+	next := e.now + checkEvery
+	for e.Step() {
+		if e.now >= next {
+			if err := ctx.Err(); err != nil {
+				return e.now, err
+			}
+			next = e.now + checkEvery
+		}
+	}
+	return e.now, nil
 }
 
 // RunUntil fires events with timestamps <= limit and then advances the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -341,5 +342,127 @@ func TestServerThroughputProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// RunContext with a never-cancellable context must be exactly Run: same
+// final clock, same fired count, same event order.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	build := func() (*Engine, *[]Cycle) {
+		e := NewEngine()
+		var got []Cycle
+		for _, d := range []Cycle{5, 3, 9, 3, 0, 70000, 7, 200000} {
+			d := d
+			e.Schedule(d, func() {
+				got = append(got, d)
+				if d == 3 {
+					e.Schedule(100000, func() { got = append(got, 100003) })
+				}
+			})
+		}
+		return e, &got
+	}
+
+	ref, refGot := build()
+	refEnd := ref.Run()
+
+	e, got := build()
+	end, err := e.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != refEnd || e.Fired() != ref.Fired() {
+		t.Fatalf("RunContext end=%d fired=%d, Run end=%d fired=%d",
+			end, e.Fired(), refEnd, ref.Fired())
+	}
+	if len(*got) != len(*refGot) {
+		t.Fatalf("RunContext fired %d events, Run fired %d", len(*got), len(*refGot))
+	}
+	for i := range *refGot {
+		if (*got)[i] != (*refGot)[i] {
+			t.Fatalf("event %d: RunContext order %v, Run order %v", i, *got, *refGot)
+		}
+	}
+}
+
+// A cancellable-but-never-cancelled context must not perturb the run either
+// (cancellation polling is observational), at any poll granularity.
+func TestRunContextUncancelledIsDeterministic(t *testing.T) {
+	run := func(every Cycle) (Cycle, uint64) {
+		e := NewEngine()
+		for i := Cycle(0); i < 500; i++ {
+			i := i
+			e.Schedule(i*137, func() {
+				if i%3 == 0 {
+					e.Schedule(i*31+1, func() {})
+				}
+			})
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		end, err := e.RunContext(ctx, every)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, e.Fired()
+	}
+	refEnd, refFired := run(0)
+	for _, every := range []Cycle{1, 7, 1000, 1 << 20} {
+		end, fired := run(every)
+		if end != refEnd || fired != refFired {
+			t.Fatalf("checkEvery=%d: end=%d fired=%d, want end=%d fired=%d",
+				every, end, fired, refEnd, refFired)
+		}
+	}
+}
+
+// Cancellation stops the loop within one poll interval of simulated time and
+// returns the context's error with the clock parked at the last fired event.
+func TestRunContextCancelStopsWithinInterval(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired []Cycle
+	for i := Cycle(0); i < 100; i++ {
+		i := i
+		e.Schedule(i*1000, func() {
+			fired = append(fired, i*1000)
+			if i == 10 {
+				cancel()
+			}
+		})
+	}
+	end, err := e.RunContext(ctx, 1000)
+	if err != context.Canceled {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	// The cancel lands at cycle 10000; the next poll boundary is at most
+	// one interval later, so no event beyond 11000 may have fired.
+	if end > 11000 {
+		t.Fatalf("engine ran to %d after cancellation at 10000 (poll every 1000)", end)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("cancelled run should leave pending events in the queue")
+	}
+	if got := fired[len(fired)-1]; Cycle(end) != got {
+		t.Fatalf("clock %d not parked at last fired event %d", end, got)
+	}
+}
+
+// A context cancelled before the run starts must fire nothing beyond the
+// first poll window.
+func TestRunContextPreCancelled(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(0, func() { n++ })
+	e.Schedule(DefaultCancelCheckCycles+1, func() { n++ })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunContext(ctx, 0)
+	if err != context.Canceled {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if n > 1 {
+		t.Fatalf("fired %d events after pre-cancelled context, want at most the first window", n)
 	}
 }

@@ -1,6 +1,7 @@
 package tss
 
 import (
+	"context"
 	"fmt"
 
 	"tasksuperscalar/internal/taskmodel"
@@ -53,7 +54,7 @@ func RunPartitioned(partitions []*Program, cfg Config) (*Result, error) {
 	for i, ts := range streams {
 		counting[i] = newCountingStream(&rawStream{tasks: ts}, nil)
 	}
-	return runHardwareMulti(counting, cfg, true)
+	return runHardwareMulti(context.Background(), counting, cfg, true)
 }
 
 // checkDisjoint rejects partitions that touch the same memory object.

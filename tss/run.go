@@ -1,6 +1,7 @@
 package tss
 
 import (
+	"context"
 	"fmt"
 
 	"tasksuperscalar/internal/backend"
@@ -63,35 +64,59 @@ func (r *Result) SpeedupOver(base *Result) float64 {
 
 // Run executes the program on the configured machine.
 func Run(p *Program, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), p, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation loop polls ctx
+// every Config.CancelCheckCycles simulated cycles (a pure observation — an
+// uncancelled RunCtx is cycle-exact identical to Run) and, once cancelled,
+// abandons the machine and returns an error wrapping ctx.Err().
+func RunCtx(ctx context.Context, p *Program, cfg Config) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return RunTasks(p.tasks, cfg)
+	return RunTasksCtx(ctx, p.tasks, cfg)
 }
 
 // RunTasks executes a raw task list (used by the benchmark harness, whose
 // workload generators produce taskmodel streams directly).
 func RunTasks(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
+	return RunTasksCtx(context.Background(), tasks, cfg)
+}
+
+// RunTasksCtx is RunTasks with cooperative cancellation (see RunCtx).
+func RunTasksCtx(ctx context.Context, tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	st := newCountingStream(taskmodel.NewSliceStream(tasks), nil)
-	return dispatchRun(st, cfg, true)
+	return dispatchRun(ctx, st, cfg, true)
 }
 
 // dispatchRun executes one task stream on the selected runtime. record
 // retains the per-task schedule (O(tasks) memory; pre-recorded runs only).
-func dispatchRun(st *countingStream, cfg Config, record bool) (*Result, error) {
+func dispatchRun(ctx context.Context, st *countingStream, cfg Config, record bool) (*Result, error) {
 	switch cfg.Runtime {
 	case Sequential:
-		return runSequential(st, cfg, record)
+		return runSequential(ctx, st, cfg, record)
 	case HardwarePipeline:
-		return runHardwareMulti([]*countingStream{st}, cfg, record)
+		return runHardwareMulti(ctx, []*countingStream{st}, cfg, record)
 	case SoftwareRuntime:
-		return runSoftware(st, cfg, record)
+		return runSoftware(ctx, st, cfg, record)
 	default:
 		return nil, fmt.Errorf("tss: unknown runtime kind %d", cfg.Runtime)
 	}
+}
+
+// runEngine drives the machine's event loop to completion, polling ctx at
+// the config's cancellation granularity. A cancelled run is abandoned
+// mid-flight: the error wraps ctx.Err() (so errors.Is(err, context.Canceled)
+// holds) and the partial machine state is discarded by the caller.
+func runEngine(ctx context.Context, m *machine, cfg Config) error {
+	if _, err := m.eng.RunContext(ctx, cfg.CancelCheckCycles); err != nil {
+		return fmt.Errorf("tss: run cancelled at cycle %d: %w", m.eng.Now(), err)
+	}
+	return nil
 }
 
 // machine bundles the shared substrate of a parallel run.
@@ -146,7 +171,7 @@ func (m *machine) finish(res *Result, n, work uint64, record bool) {
 // runHardwareMulti drives the hardware pipeline from one or more
 // task-generating threads, each pulling lazily from its own stream with the
 // gateway's buffer as back-pressure.
-func runHardwareMulti(streams []*countingStream, cfg Config, record bool) (*Result, error) {
+func runHardwareMulti(ctx context.Context, streams []*countingStream, cfg Config, record bool) (*Result, error) {
 	m := buildMachine(cfg)
 	var copyEng core.CopyEngine
 	if m.memory != nil {
@@ -175,7 +200,9 @@ func runHardwareMulti(streams []*countingStream, cfg Config, record bool) (*Resu
 	for _, g := range gens {
 		g.Start()
 	}
-	m.eng.Run()
+	if err := runEngine(ctx, m, cfg); err != nil {
+		return nil, err
+	}
 
 	var n, work uint64
 	var streamErr error
@@ -201,14 +228,16 @@ func runHardwareMulti(streams []*countingStream, cfg Config, record bool) (*Resu
 	return res, nil
 }
 
-func runSoftware(st *countingStream, cfg Config, record bool) (*Result, error) {
+func runSoftware(ctx context.Context, st *countingStream, cfg Config, record bool) (*Result, error) {
 	m := buildMachine(cfg)
 	rt := softrt.New(m.eng, cfg.Software, st, m.back, m.genNode)
 	m.back.SetFinishHandler(rt)
 	m.net.Build()
 
 	rt.Start()
-	m.eng.Run()
+	if err := runEngine(ctx, m, cfg); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Kind: SoftwareRuntime, Cores: cfg.Cores}
 	m.finish(res, st.n, st.work, record)
@@ -232,7 +261,7 @@ type seqFinisher struct {
 
 func (s *seqFinisher) TaskFinished(from noc.NodeID, id core.TaskID) { s.feed() }
 
-func runSequential(st *countingStream, cfg Config, record bool) (*Result, error) {
+func runSequential(ctx context.Context, st *countingStream, cfg Config, record bool) (*Result, error) {
 	cfg = cfg.WithCores(1)
 	m := buildMachine(cfg)
 	m.net.Build()
@@ -257,7 +286,9 @@ func runSequential(st *countingStream, cfg Config, record bool) (*Result, error)
 	}
 	m.back.SetFinishHandler(&seqFinisher{feed: feed})
 	feed()
-	m.eng.Run()
+	if err := runEngine(ctx, m, cfg); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Kind: Sequential, Cores: 1}
 	m.finish(res, st.n, st.work, record)

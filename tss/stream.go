@@ -1,6 +1,7 @@
 package tss
 
 import (
+	"context"
 	"fmt"
 
 	"tasksuperscalar/internal/taskmodel"
@@ -151,13 +152,20 @@ func (s *countingStream) Next() *taskmodel.Task {
 // retirement instead), and the generator is paced by gateway back-pressure,
 // so streams of millions of tasks run in O(window) space.
 func RunStream(g Generator, cfg Config) (*Result, error) {
+	return RunStreamCtx(context.Background(), g, cfg)
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation: the engine loop
+// polls ctx every Config.CancelCheckCycles simulated cycles (see RunCtx) and
+// a cancelled stream is abandoned with an error wrapping ctx.Err().
+func RunStreamCtx(ctx context.Context, g Generator, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg.Backend.RecordSchedule = false
 	cfg.Frontend.RecordChains = false
 	st := newCountingStream(generatorStream{g}, &seqCounter{})
-	return dispatchRun(st, cfg, false)
+	return dispatchRun(ctx, st, cfg, false)
 }
 
 // RunStreamPartitioned executes several lazily generated streams, one
@@ -167,6 +175,12 @@ func RunStream(g Generator, cfg Config) (*Result, error) {
 // responsible for data partitioning (build each generator from a
 // NewTaskBuilderAt with a distinct base).
 func RunStreamPartitioned(gens []Generator, cfg Config) (*Result, error) {
+	return RunStreamPartitionedCtx(context.Background(), gens, cfg)
+}
+
+// RunStreamPartitionedCtx is RunStreamPartitioned with cooperative
+// cancellation (see RunStreamCtx).
+func RunStreamPartitionedCtx(ctx context.Context, gens []Generator, cfg Config) (*Result, error) {
 	if len(gens) == 0 {
 		return nil, fmt.Errorf("tss: no generators")
 	}
@@ -183,5 +197,5 @@ func RunStreamPartitioned(gens []Generator, cfg Config) (*Result, error) {
 	for i, g := range gens {
 		streams[i] = newCountingStream(generatorStream{g}, seqs)
 	}
-	return runHardwareMulti(streams, cfg, false)
+	return runHardwareMulti(ctx, streams, cfg, false)
 }
