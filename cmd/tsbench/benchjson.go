@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"tasksuperscalar/internal/benchsuite"
 )
@@ -17,9 +18,11 @@ import (
 // bench artifact). The measured bodies are the internal/benchsuite
 // functions — exactly the code `go test -bench` runs.
 //
-// The file keeps two snapshots: "baseline" is preserved from the existing
-// file (seeded once from the pre-calendar-queue engine), "current" is
-// refreshed on every run. Regressions therefore show up as a shrinking gap.
+// The file keeps the whole trajectory: "baseline" is preserved from the
+// existing file (seeded once from the pre-calendar-queue engine),
+// "current" is refreshed on every run, and the previous "current" is
+// appended to the dated "history" array — so the per-PR progression is
+// never overwritten, only extended.
 
 type benchPoint struct {
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -32,6 +35,7 @@ type benchPoint struct {
 
 type benchSnapshot struct {
 	Note    string                `json:"note,omitempty"`
+	Date    string                `json:"date,omitempty"` // YYYY-MM-DD of the measurement
 	Go      string                `json:"go"`
 	Results map[string]benchPoint `json:"results"`
 }
@@ -40,6 +44,10 @@ type benchFile struct {
 	Schema   string         `json:"schema"`
 	Baseline *benchSnapshot `json:"baseline,omitempty"`
 	Current  *benchSnapshot `json:"current"`
+	// History holds every superseded "current" snapshot, oldest first;
+	// each -benchjson run appends the previous current before replacing
+	// it, preserving the perf trajectory across PRs.
+	History []*benchSnapshot `json:"history,omitempty"`
 }
 
 // point converts a benchmark result; per-simulated-task rates are derived
@@ -59,8 +67,9 @@ func point(r testing.BenchmarkResult) benchPoint {
 }
 
 // runBenchJSON measures the substrate benches and writes/updates the JSON
-// file at path.
-func runBenchJSON(path string) error {
+// file at path. note labels the snapshot (use it when the measured code
+// changed); an empty note records just the date and Go version.
+func runBenchJSON(path, note string) error {
 	results := map[string]benchPoint{
 		"engine_schedule_fire":  point(testing.Benchmark(benchsuite.EngineScheduleFire)),
 		"engine_schedule_pop":   point(testing.Benchmark(benchsuite.EngineSchedulePop)),
@@ -70,20 +79,31 @@ func runBenchJSON(path string) error {
 	}
 
 	current := &benchSnapshot{
-		Note:    "calendar-queue engine, typed pooled events",
+		Note:    note,
+		Date:    time.Now().UTC().Format("2006-01-02"),
 		Go:      runtime.Version(),
 		Results: results,
 	}
 	out := benchFile{Schema: "tasksuperscalar-bench/v1", Current: current}
 
-	// Preserve the committed baseline; seed it from the first measurement
-	// when the file does not exist yet.
+	// Preserve the committed baseline and trajectory: the previous
+	// "current" snapshot is appended to history rather than overwritten.
+	// The one exception is a same-day rerun with the same note and Go
+	// version — a re-measurement of the same change — which replaces the
+	// previous current instead, so local iteration does not pollute the
+	// per-PR history (distinct changes should carry distinct -benchnote
+	// labels).
 	if raw, err := os.ReadFile(path); err == nil {
 		var prev benchFile
 		if err := json.Unmarshal(raw, &prev); err != nil {
 			return fmt.Errorf("tsbench: parsing existing %s: %w", path, err)
 		}
 		out.Baseline = prev.Baseline
+		out.History = prev.History
+		if c := prev.Current; c != nil &&
+			!(c.Date == current.Date && c.Note == current.Note && c.Go == current.Go) {
+			out.History = append(out.History, c)
+		}
 	}
 	if out.Baseline == nil {
 		seed := *current

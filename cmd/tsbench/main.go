@@ -12,6 +12,7 @@
 //	tsbench -experiment all -json results.json  # also dump sweep points
 //	tsbench -benchjson BENCH_engine.json   # substrate perf snapshot (JSON)
 //	tsbench -remote http://host:7077 -experiment fig12  # run on a tssd daemon
+//	tsbench -experiment fig12 -cpuprofile cpu.out  # profile an experiment
 //	tsbench -list                      # show available experiments
 //
 // With -remote each experiment is submitted to a tssd daemon (cmd/tssd) as
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"tasksuperscalar/internal/experiments"
+	"tasksuperscalar/internal/prof"
 	"tasksuperscalar/internal/service"
 )
 
@@ -49,20 +51,24 @@ func cancelRemote(cl *service.Client, id string) {
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "all", "experiment ID (or comma list, or 'all')")
-		full    = flag.Bool("full", false, "run at paper scale instead of quick mode")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		seed    = flag.Int64("seed", 42, "workload generation seed")
-		cores   = flag.Int("cores", 256, "largest machine size")
-		workers = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
-		jsonOut = flag.String("json", "", "also write every sweep point to this file as JSON")
-		benchJS = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
-		remote  = flag.String("remote", "", "submit experiments to a tssd daemon at this base URL instead of running locally")
+		expID     = flag.String("experiment", "all", "experiment ID (or comma list, or 'all')")
+		full      = flag.Bool("full", false, "run at paper scale instead of quick mode")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		seed      = flag.Int64("seed", 42, "workload generation seed")
+		cores     = flag.Int("cores", 256, "largest machine size")
+		workers   = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
+		jsonOut   = flag.String("json", "", "also write every sweep point to this file as JSON")
+		benchJS   = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
+		benchNote = flag.String("benchnote", "", "label for the -benchjson snapshot (set when the measured code changed)")
+		remote    = flag.String("remote", "", "submit experiments to a tssd daemon at this base URL instead of running locally")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	defer prof.Start(*cpuProf, *memProf)()
 
 	if *benchJS != "" {
-		if err := runBenchJSON(*benchJS); err != nil {
+		if err := runBenchJSON(*benchJS, *benchNote); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -10,6 +10,7 @@
 //	tssim -load fft.trace -cores 64            # replay a saved trace
 //	tssim -stream -tasks 1000000 -cores 64     # stream tasks lazily
 //	tssim -remote http://host:7077 -workload h264   # run on a tssd daemon
+//	tssim -workload fft -cpuprofile cpu.out -memprofile mem.out  # profile the run
 //
 // With -stream the task stream is generated lazily (the STAP-like CPI
 // stream) and executed through tss.RunStream, so memory stays bounded by
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"tasksuperscalar/internal/prof"
 	"tasksuperscalar/internal/service"
 	"tasksuperscalar/internal/trace"
 	"tasksuperscalar/internal/workloads"
@@ -55,8 +57,11 @@ func main() {
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
 		stream   = flag.Bool("stream", false, "generate tasks lazily and run via the streaming frontend path")
 		remote   = flag.String("remote", "", "submit the run to a tssd daemon at this base URL instead of simulating locally")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	defer prof.Start(*cpuProf, *memProf)()
 
 	if *remote != "" {
 		// A remote run is described by a job spec, not a local build;

@@ -80,7 +80,7 @@ func (st *stagedTask) Fire() {
 type worker struct {
 	idx     int
 	node    noc.NodeID
-	queue   []*stagedTask
+	queue   sim.FIFO[*stagedTask]
 	running bool
 	credit  *gtuCredit // reusable (immutable) local-queue credit message
 }
@@ -96,7 +96,7 @@ type Backend struct {
 
 	node    noc.NodeID // global task unit
 	gtu     *sim.Server[any]
-	readyQ  []*core.ReadyTask
+	readyQ  sim.FIFO[*core.ReadyTask]
 	credits []int // free local-queue slots per worker
 	freeRR  int
 	workers []*worker
@@ -107,9 +107,11 @@ type Backend struct {
 	freeTask    *taskEvent
 	freeDeliver *deliverTaskEvent
 
-	// Observability, indexed by task sequence number.
-	startAt  map[uint64]sim.Cycle
-	finishAt map[uint64]sim.Cycle
+	// Observability: per-task start/finish cycles, indexed directly by
+	// task sequence number (grown on demand; nil unless RecordSchedule).
+	recSched bool
+	startAt  []sim.Cycle
+	finishAt []sim.Cycle
 
 	busy      stats.Counter
 	executed  uint64
@@ -138,30 +140,29 @@ func (b *Backend) execCycles(w *worker, rt *core.ReadyTask) sim.Cycle {
 func (b *Backend) trySteal(w *worker) {
 	var victim *worker
 	for _, v := range b.workers {
-		if v == w || len(v.queue) == 0 {
+		if v == w || v.queue.Len() == 0 {
 			continue
 		}
 		// Only steal fully staged tasks that are not about to start.
-		last := v.queue[len(v.queue)-1]
-		if !last.staged || (len(v.queue) == 1 && !v.running) {
+		last := *v.queue.At(v.queue.Len() - 1)
+		if !last.staged || (v.queue.Len() == 1 && !v.running) {
 			continue
 		}
-		if victim == nil || len(v.queue) > len(victim.queue) {
+		if victim == nil || v.queue.Len() > victim.queue.Len() {
 			victim = v
 		}
 	}
 	if victim == nil {
 		return
 	}
-	st := victim.queue[len(victim.queue)-1]
-	victim.queue = victim.queue[:len(victim.queue)-1]
+	st := victim.queue.PopBack()
 	st.w = w
 	b.steals++
 	b.net.Send(w.node, victim.node, b.cfg.CtrlBytes, func() {
 		b.net.Send(victim.node, w.node, b.cfg.CtrlBytes, func() {
 			// Re-stage on the thief (its L1 must hold the operands).
 			b.stageOperands(w, st.rt, sim.FuncEvent(func() {
-				w.queue = append(w.queue, st)
+				w.queue.Push(st)
 				st.staged = true
 				b.maybeStart(w)
 			}))
@@ -183,18 +184,31 @@ func New(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg Config, 
 		mem:  m,
 		node: net.AddGlobalNode("gtu"),
 	}
-	if cfg.RecordSchedule {
-		b.startAt = make(map[uint64]sim.Cycle)
-		b.finishAt = make(map[uint64]sim.Cycle)
-	}
+	b.recSched = cfg.RecordSchedule
 	b.gtu = sim.NewServer[any](eng, "gtu", b.handleGTU)
+	// Workers, credits, and credit messages in three contiguous arrays.
+	ws := make([]worker, cfg.Cores)
+	creds := make([]gtuCredit, cfg.Cores)
+	b.workers = make([]*worker, cfg.Cores)
+	b.credits = make([]int, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		b.workers = append(b.workers, &worker{
-			idx: i, node: coreNodes[i], credit: &gtuCredit{worker: i},
-		})
-		b.credits = append(b.credits, cfg.LocalQueueDepth)
+		creds[i] = gtuCredit{worker: i}
+		ws[i] = worker{idx: i, node: coreNodes[i], credit: &creds[i]}
+		b.workers[i] = &ws[i]
+		b.credits[i] = cfg.LocalQueueDepth
 	}
 	return b
+}
+
+// record writes one observation into a seq-indexed table, growing it on
+// demand (sequence numbers arrive roughly in order, so growth is amortized
+// doubling, not per task).
+func record(tab []sim.Cycle, seq uint64, at sim.Cycle) []sim.Cycle {
+	for uint64(len(tab)) <= seq {
+		tab = append(tab, 0)
+	}
+	tab[seq] = at
+	return tab
 }
 
 // SetFinishHandler wires completion notifications (frontend or soft runtime).
@@ -209,9 +223,9 @@ func (b *Backend) TaskReady(rt *core.ReadyTask) { b.gtu.Submit(rt) }
 func (b *Backend) handleGTU(m any) sim.Cycle {
 	switch msg := m.(type) {
 	case *core.ReadyTask:
-		b.readyQ = append(b.readyQ, msg)
-		if len(b.readyQ) > b.readyPeak {
-			b.readyPeak = len(b.readyQ)
+		b.readyQ.Push(msg)
+		if b.readyQ.Len() > b.readyPeak {
+			b.readyPeak = b.readyQ.Len()
 		}
 		return b.dispatch()
 	case *gtuCredit:
@@ -248,7 +262,7 @@ func (ev *deliverTaskEvent) Fire() {
 func (b *Backend) dispatch() sim.Cycle {
 	var cost sim.Cycle
 	n := len(b.workers)
-	for len(b.readyQ) > 0 {
+	for b.readyQ.Len() > 0 {
 		picked := -1
 		for i := 0; i < n; i++ {
 			idx := (b.freeRR + i) % n
@@ -261,8 +275,7 @@ func (b *Backend) dispatch() sim.Cycle {
 		if picked < 0 {
 			break
 		}
-		rt := b.readyQ[0]
-		b.readyQ = b.readyQ[1:]
+		rt := b.readyQ.Pop()
 		b.credits[picked]--
 		w := b.workers[picked]
 		size := b.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
@@ -291,7 +304,7 @@ func (b *Backend) deliver(w *worker, rt *core.ReadyTask) {
 		st.next = nil
 	}
 	st.rt, st.w, st.staged = rt, w, false
-	w.queue = append(w.queue, st)
+	w.queue.Push(st)
 	b.stageOperands(w, rt, st)
 }
 
@@ -335,22 +348,21 @@ func (b *Backend) maybeStart(w *worker) {
 	if w.running {
 		return
 	}
-	if len(w.queue) == 0 || !w.queue[0].staged {
-		if b.cfg.Stealing && len(w.queue) == 0 {
+	if w.queue.Len() == 0 || !(*w.queue.Front()).staged {
+		if b.cfg.Stealing && w.queue.Len() == 0 {
 			b.trySteal(w)
 		}
 		return
 	}
-	st := w.queue[0]
-	w.queue = w.queue[1:]
+	st := w.queue.Pop()
 	w.running = true
 	rt := st.rt
 	st.rt, st.w = nil, nil
 	st.next = b.freeStaged
 	b.freeStaged = st
 	b.busy.Inc(b.eng.Now(), +1)
-	if b.startAt != nil {
-		b.startAt[rt.Task.Seq] = b.eng.Now()
+	if b.recSched {
+		b.startAt = record(b.startAt, rt.Task.Seq, b.eng.Now())
 	}
 	ev := b.freeTask
 	if ev == nil {
@@ -424,8 +436,8 @@ func (b *Backend) writeOutputs(w *worker, rt *core.ReadyTask, done sim.Event) {
 
 func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
 	now := b.eng.Now()
-	if b.finishAt != nil {
-		b.finishAt[rt.Task.Seq] = now
+	if b.recSched {
+		b.finishAt = record(b.finishAt, rt.Task.Seq, now)
 	}
 	if b.cfg.OnComplete != nil {
 		b.cfg.OnComplete(rt.Task.Seq, now)
@@ -436,6 +448,9 @@ func (b *Backend) completeTask(w *worker, rt *core.ReadyTask) {
 	}
 	// Return the local-queue slot to the global task unit.
 	b.net.SendMsg(w.node, b.node, b.cfg.CtrlBytes, b.gtu, w.credit)
+	// The task is fully retired: hand the dispatch record back to its
+	// issuing frontend's pool (no-op for unpooled producers).
+	rt.Release()
 }
 
 // Executed returns the number of completed tasks.
@@ -445,21 +460,13 @@ func (b *Backend) Executed() uint64 { return b.executed }
 // number (for validation against the dependency-graph oracle). It returns
 // nils when the run was configured without schedule recording.
 func (b *Backend) Schedule(n int) (start, finish []uint64) {
-	if b.startAt == nil {
+	if !b.recSched {
 		return nil, nil
 	}
 	start = make([]uint64, n)
 	finish = make([]uint64, n)
-	for seq, at := range b.startAt {
-		if int(seq) < n {
-			start[seq] = at
-		}
-	}
-	for seq, at := range b.finishAt {
-		if int(seq) < n {
-			finish[seq] = at
-		}
-	}
+	copy(start, b.startAt)
+	copy(finish, b.finishAt)
 	return start, finish
 }
 

@@ -23,11 +23,19 @@ type Frontend struct {
 	dispatcher Dispatcher
 	copyEngine CopyEngine
 
+	// ortMask is len(ort)-1 when the ORT count is a power of 2 (mask
+	// instead of mod on the per-operand routing path), else -1.
+	ortMask int
+
 	// pools recycles protocol message structs; together with the NoC's
 	// typed delivery events this keeps the steady-state message path
 	// allocation-free (see docs/ARCHITECTURE.md).
 	pools     msgPools
 	freeReady *readyEvent
+	// freeRT recycles ReadyTask records (and their resolved-operand
+	// slices) once the backend releases them, so dispatch allocates
+	// nothing in steady state.
+	freeRT *ReadyTask
 
 	stallState []bool
 
@@ -74,6 +82,10 @@ func New(eng *sim.Engine, net *noc.Network, cfg Config, copyEngine CopyEngine) *
 		v.node = int(net.AddGlobalNode("ovt"))
 		fe.ovt = append(fe.ovt, v)
 	}
+	fe.ortMask = -1
+	if n := len(fe.ort); n&(n-1) == 0 {
+		fe.ortMask = n - 1
+	}
 	return fe
 }
 
@@ -93,8 +105,31 @@ type NullCopyEngine struct{ eng *sim.Engine }
 func NewNullCopyEngine(eng *sim.Engine) *NullCopyEngine { return &NullCopyEngine{eng: eng} }
 
 // Copy implements CopyEngine.
-func (n *NullCopyEngine) Copy(src, dst uint64, size uint32, then func()) {
-	n.eng.Schedule(1, then)
+func (n *NullCopyEngine) Copy(src, dst uint64, size uint32, done sim.Event) {
+	n.eng.ScheduleEvent(1, done)
+}
+
+// --- ReadyTask recycling ---
+
+// getReadyTask takes a dispatch record from the frontend's free list.
+func (fe *Frontend) getReadyTask() *ReadyTask {
+	rt := fe.freeRT
+	if rt == nil {
+		rt = &ReadyTask{owner: fe}
+	} else {
+		fe.freeRT = rt.nextFree
+		rt.nextFree = nil
+	}
+	return rt
+}
+
+// putReadyTask returns a released record; the operand slice keeps its
+// capacity for the next dispatch.
+func (fe *Frontend) putReadyTask(rt *ReadyTask) {
+	rt.Task = nil
+	rt.Operands = rt.Operands[:0]
+	rt.nextFree = fe.freeRT
+	fe.freeRT = rt
 }
 
 // --- routing helpers ---
@@ -106,11 +141,14 @@ func (fe *Frontend) ortFor(base uint64) int {
 	h := base >> 6
 	h *= 0x9E3779B97F4A7C15
 	h ^= h >> 32
+	if fe.ortMask >= 0 {
+		return int(h & uint64(fe.ortMask)) // identical to % for power-of-2 counts
+	}
 	return int(h % uint64(len(fe.ort)))
 }
 
 func (fe *Frontend) trsGen(id TaskID) uint32 {
-	return fe.trs[id.TRS].gens[id.Slot]
+	return fe.trs[id.TRS].slotGen(id.Slot)
 }
 
 // --- message transport (asynchronous point-to-point over the NoC) ---

@@ -30,14 +30,24 @@ type gateway struct {
 	node int
 	srv  *sim.Server[any]
 
-	queue    []*pendingTask
+	queue    sim.FIFO[*pendingTask]
 	freePend *pendingTask // free list of pendingTask records
 	enqSink  sim.Sink     // delivery target for generator task injection
 	bufUsed  uint32
 	inFlight int      // reserved-or-queued tasks (incoming window, in tasks)
 	waiters  []func() // generators blocked on buffer space
-	stalls   map[int]bool
+	drain    []func() // scratch for waking waiters without allocating
+	// stalls is a bitset over the frontend's stall sources (2 per ORT/OVT
+	// pair — small dense indices, so a word array beats a map).
+	stalls   []uint64
 	nstalled int
+
+	// allocSent counts queued tasks whose allocation request has been
+	// sent. Requests go out strictly in queue order and tasks retire from
+	// the front in order, so the queue is always a sent prefix followed
+	// by an unsent suffix: the next candidate is queue.At(allocSent), and
+	// a reply's task is always inside the prefix — no scans needed.
+	allocSent int
 
 	freeTRS []bool
 	rrNext  int
@@ -51,7 +61,7 @@ type gateway struct {
 func newGateway(fe *Frontend) *gateway {
 	g := &gateway{
 		fe:      fe,
-		stalls:  make(map[int]bool),
+		stalls:  make([]uint64, (2*fe.cfg.NumORT+63)/64),
 		freeTRS: make([]bool, fe.cfg.NumTRS),
 	}
 	for i := range g.freeTRS {
@@ -102,7 +112,7 @@ func (g *gateway) Enqueue(t *taskmodel.Task) {
 		g.freePend = p.next
 	}
 	*p = pendingTask{task: t, bytes: taskBytes(t)}
-	g.queue = append(g.queue, p)
+	g.queue.Push(p)
 	g.admitted++
 	g.srv.Submit(gwKickMsg{})
 }
@@ -138,12 +148,13 @@ func (g *gateway) handle(m any) sim.Cycle {
 }
 
 func (g *gateway) handleStall(m gwStallMsg) sim.Cycle {
-	was := g.stalls[m.src]
+	word, bit := m.src/64, uint64(1)<<(m.src%64)
+	was := g.stalls[word]&bit != 0
 	if m.stalled && !was {
-		g.stalls[m.src] = true
+		g.stalls[word] |= bit
 		g.nstalled++
 	} else if !m.stalled && was {
-		delete(g.stalls, m.src)
+		g.stalls[word] &^= bit
 		g.nstalled--
 		g.srv.Submit(gwKickMsg{})
 	}
@@ -159,8 +170,8 @@ func (g *gateway) step() sim.Cycle {
 	progress := false
 
 	// 1. Issue the head task's operands, in order, unless stalled.
-	if len(g.queue) > 0 && g.nstalled == 0 {
-		head := g.queue[0]
+	if g.queue.Len() > 0 && g.nstalled == 0 {
+		head := *g.queue.Front()
 		if head.allocDone {
 			cost += g.issueOne(head)
 			progress = true
@@ -171,21 +182,17 @@ func (g *gateway) step() sim.Cycle {
 	}
 
 	// 2. Pipeline one allocation request for the next unallocated task.
-	for _, p := range g.queue {
-		if p.allocSent {
-			continue
+	if g.allocSent < g.queue.Len() {
+		if trs := g.pickTRS(); trs >= 0 {
+			p := *g.queue.At(g.allocSent)
+			p.allocSent = true
+			g.allocSent++
+			am := g.fe.pools.alloc.get()
+			*am = trsAllocMsg{task: p.task, gwRef: g.refOf(p)}
+			g.fe.sendToTRSFromGW(am, trs)
+			cost += g.fe.cfg.ProcCycles
+			progress = true
 		}
-		trs := g.pickTRS()
-		if trs < 0 {
-			break
-		}
-		p.allocSent = true
-		am := g.fe.pools.alloc.get()
-		*am = trsAllocMsg{task: p.task, gwRef: g.refOf(p)}
-		g.fe.sendToTRSFromGW(am, trs)
-		cost += g.fe.cfg.ProcCycles
-		progress = true
-		break
 	}
 
 	if progress {
@@ -199,8 +206,9 @@ func (g *gateway) step() sim.Cycle {
 func (g *gateway) refOf(p *pendingTask) int { return int(p.task.Seq) }
 
 func (g *gateway) findRef(ref int) *pendingTask {
-	for _, p := range g.queue {
-		if int(p.task.Seq) == ref {
+	// Only the sent prefix can have a reply outstanding.
+	for i := 0; i < g.allocSent; i++ {
+		if p := *g.queue.At(i); int(p.task.Seq) == ref {
 			return p
 		}
 	}
@@ -283,19 +291,20 @@ func (g *gateway) issueOne(p *pendingTask) sim.Cycle {
 // retire removes a fully issued task from the buffer and wakes blocked
 // generators.
 func (g *gateway) retire(p *pendingTask) {
-	if len(g.queue) == 0 || g.queue[0] != p {
+	if g.queue.Len() == 0 || *g.queue.Front() != p {
 		panic("gateway: retiring non-head task")
 	}
-	g.queue = g.queue[1:]
+	g.queue.Pop()
+	g.allocSent-- // the head is always inside the sent prefix (allocDone)
 	g.bufUsed -= p.bytes
 	g.inFlight--
 	*p = pendingTask{next: g.freePend}
 	g.freePend = p
 	// Wake blocked generators; a still-blocked generator re-registers
-	// itself, so drain a snapshot rather than the live list.
-	waiters := g.waiters
-	g.waiters = nil
-	for _, w := range waiters {
+	// itself, so drain a snapshot rather than the live list (the two
+	// slices swap roles so neither wake path allocates).
+	g.waiters, g.drain = g.drain[:0], g.waiters
+	for _, w := range g.drain {
 		w()
 	}
 }

@@ -125,7 +125,7 @@ func TestVersionRecordsDrainToZero(t *testing.T) {
 		if n := ovt.live(); n != 0 {
 			t.Errorf("ovt%d still holds %d live versions after drain", i, n)
 		}
-		if len(ovt.stashed) != 0 || len(ovt.pendingUses) != 0 {
+		if ovt.stashed.Len() != 0 || ovt.pendingCount() != 0 {
 			t.Errorf("ovt%d has stashed/pending state after drain", i)
 		}
 	}

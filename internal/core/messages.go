@@ -152,6 +152,12 @@ type ResolvedOperand struct {
 }
 
 // ReadyTask is handed to the backend when all operands of a task are ready.
+//
+// Frontend-issued records are pooled: the backend calls Release when it has
+// fully retired the task, returning the record (and its operand slice) to
+// the issuing frontend's free list. Producers outside the hardware pipeline
+// (the software runtime, the sequential driver, tests) build plain records
+// for which Release is a no-op.
 type ReadyTask struct {
 	ID       TaskID
 	Task     *taskmodel.Task
@@ -159,6 +165,18 @@ type ReadyTask struct {
 
 	DecodedAt sim.Cycle
 	ReadyAt   sim.Cycle
+
+	owner    *Frontend // pool owner; nil for unpooled records
+	nextFree *ReadyTask
+}
+
+// Release returns a pooled record to its owner. The caller must not touch
+// rt (including Task and Operands) afterwards; releasing an unpooled record
+// does nothing.
+func (rt *ReadyTask) Release() {
+	if rt.owner != nil {
+		rt.owner.putReadyTask(rt)
+	}
 }
 
 // Dispatcher consumes ready tasks; the execution backend implements it.

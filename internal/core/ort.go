@@ -29,11 +29,16 @@ type ortModule struct {
 	node  int
 	srv   *sim.Server[any]
 
-	sets    [][]ortEntry
+	// entries holds every way of every set in one contiguous array (set s
+	// occupies entries[s*ortWays : (s+1)*ortWays]), preallocated from the
+	// configured table capacity — the fixed set-associative eDRAM block of
+	// §IV.B.3.
+	entries []ortEntry
 	nsets   int
-	waiting [][]ortDecodeMsg // stashed decodes per full set
-	nwait   int              // total stashed operands
-	verSeq  uint32           // version number allocator for the paired OVT
+	setMask int                      // nsets-1 when nsets is a power of 2, else -1
+	waiting []sim.FIFO[ortDecodeMsg] // stashed decodes per full set
+	nwait   int                      // total stashed operands
+	verSeq  uint32                   // version number allocator for the paired OVT
 
 	// Stats.
 	lookups, hits, inserts, releases uint64
@@ -49,13 +54,19 @@ func newORT(fe *Frontend, index int) *ortModule {
 		nsets = 1
 	}
 	o := &ortModule{fe: fe, index: index, nsets: nsets}
-	o.sets = make([][]ortEntry, nsets)
-	for i := range o.sets {
-		o.sets[i] = make([]ortEntry, ortWays)
+	o.setMask = -1
+	if nsets&(nsets-1) == 0 {
+		o.setMask = nsets - 1 // power-of-2 set count: mask instead of mod
 	}
-	o.waiting = make([][]ortDecodeMsg, nsets)
+	o.entries = make([]ortEntry, nsets*ortWays)
+	o.waiting = make([]sim.FIFO[ortDecodeMsg], nsets)
 	o.srv = sim.NewServer[any](fe.eng, "ort", o.handle)
 	return o
+}
+
+// set returns the ways of one set.
+func (o *ortModule) set(s int) []ortEntry {
+	return o.entries[s*ortWays : (s+1)*ortWays]
 }
 
 func (o *ortModule) handle(m any) sim.Cycle {
@@ -78,6 +89,9 @@ func (o *ortModule) setFor(base uint64) int {
 	h ^= h >> 17
 	h *= 0x9E3779B97F4A7C15
 	h ^= h >> 29
+	if o.setMask >= 0 {
+		return int(h & uint64(o.setMask)) // identical to % for power-of-2 nsets
+	}
 	return int(h % uint64(o.nsets))
 }
 
@@ -85,8 +99,9 @@ func (o *ortModule) setFor(base uint64) int {
 func (o *ortModule) lookupCost() sim.Cycle { return 2 * o.fe.cfg.EDRAMCycles }
 
 func (o *ortModule) find(set int, base uint64) *ortEntry {
-	for i := range o.sets[set] {
-		e := &o.sets[set][i]
+	ways := o.set(set)
+	for i := range ways {
+		e := &ways[i]
 		if e.valid && e.base == base {
 			return e
 		}
@@ -95,9 +110,10 @@ func (o *ortModule) find(set int, base uint64) *ortEntry {
 }
 
 func (o *ortModule) freeWay(set int) *ortEntry {
-	for i := range o.sets[set] {
-		if !o.sets[set][i].valid {
-			return &o.sets[set][i]
+	ways := o.set(set)
+	for i := range ways {
+		if !ways[i].valid {
+			return &ways[i]
 		}
 	}
 	return nil
@@ -113,9 +129,9 @@ func (o *ortModule) newVersion() VersionID {
 func (o *ortModule) handleDecode(m ortDecodeMsg, replay bool) sim.Cycle {
 	cost := o.fe.cfg.ProcCycles + o.lookupCost()
 	set := o.setFor(m.base)
-	if !replay && len(o.waiting[set]) > 0 {
+	if !replay && o.waiting[set].Len() > 0 {
 		// Preserve per-object decode order behind stashed operands.
-		o.waiting[set] = append(o.waiting[set], m)
+		o.waiting[set].Push(m)
 		o.nwait++
 		return cost
 	}
@@ -128,7 +144,7 @@ func (o *ortModule) handleDecode(m ortDecodeMsg, replay bool) sim.Cycle {
 			// The gateway is stalled only when the stash outgrows its
 			// credit limit (per-object order is kept by the per-set
 			// FIFO stash).
-			o.waiting[set] = append(o.waiting[set], m)
+			o.waiting[set].Push(m)
 			o.nwait++
 			o.stallEvents++
 			if o.nwait > o.fe.cfg.ORTStashLimit {
@@ -276,12 +292,11 @@ func (o *ortModule) handleRelease(m ortReleaseMsg) sim.Cycle {
 	*ra = ovtReleaseAckMsg{v: m.version, freed: freed}
 	o.fe.sendToOVT(o.node, o.index, ra)
 	// Replay stashed decodes for this set, in order.
-	for freed && len(o.waiting[set]) > 0 {
-		if o.freeWay(set) == nil && o.find(set, o.waiting[set][0].base) == nil {
+	for freed && o.waiting[set].Len() > 0 {
+		if o.freeWay(set) == nil && o.find(set, o.waiting[set].Front().base) == nil {
 			break
 		}
-		w := o.waiting[set][0]
-		o.waiting[set] = o.waiting[set][1:]
+		w := o.waiting[set].Pop()
 		o.nwait--
 		cost += o.handleDecode(w, true)
 	}

@@ -4,10 +4,17 @@ import (
 	"tasksuperscalar/internal/sim"
 )
 
-// verRec is one live operand version: usage count, buffer location, link to
-// the next (in-place) version waiting on this one, and rename-buffer
-// ownership. The OVT is the physical-register-file analogue — it holds only
-// meta-data; buffers live in an OS-assigned memory region (§IV.B.4).
+// verRec is one operand version: usage count, buffer location, link to the
+// next (in-place) version waiting on this one, and rename-buffer ownership.
+// The OVT is the physical-register-file analogue — it holds only meta-data;
+// buffers live in an OS-assigned memory region (§IV.B.4).
+//
+// Records live in a slab indexed by the open-addressed version table below,
+// mirroring the paper's fixed-capacity set-associative eDRAM array: steady
+// state allocates nothing, a full table stalls the gateway. A record whose
+// creation is stashed behind a full table exists in the "pending" state,
+// netting early AddUse/DecUse arrivals and parking buffer queries until the
+// creation replays (this replaces the old pendingUses/pendingQueries maps).
 type verRec struct {
 	id   VersionID
 	base uint64
@@ -32,13 +39,34 @@ type verRec struct {
 	copyInFlight   bool
 	releasePending bool // ortRelease sent, awaiting ack
 	dead           bool
+
+	pending  bool // creation stashed; only pendUses/queries are meaningful
+	pendUses int  // net uses that arrived before the stashed creation
+	// queries holds consumers that asked for the buffer before creation;
+	// the slice's capacity is recycled through the module's query pool.
+	queries []OperandID
 }
 
 // CopyEngine abstracts the external DMA engine that copies rename buffers
-// back to their original object addresses (mem.System implements it).
+// back to their original object addresses (mem.System implements it). done
+// fires when the copy completes; passing a (pooled) typed event keeps the
+// per-copy-back path allocation-free.
 type CopyEngine interface {
-	Copy(src, dst uint64, size uint32, then func())
+	Copy(src, dst uint64, size uint32, done sim.Event)
 }
+
+const (
+	// Rename buffers come in power-of-2 sizes from 2^minBucketLog2 (256 B)
+	// up to 2^maxBucketLog2; the free lists are a fixed per-log2-size array
+	// of stacks (§IV.B.4's OS-assigned region, carved on demand).
+	minBucketLog2 = 8
+	maxBucketLog2 = 32
+)
+
+// ovtSlabChunk sizes the verRec slab's chunks. Chunked growth keeps record
+// addresses stable for the lifetime of the module (handlers hold *verRec
+// across nested stash replays), while staying index-addressed.
+const ovtSlabChunk = 512
 
 // ovtModule is one object versioning table. It tracks live versions,
 // breaks anti- and output-dependencies by renaming output operands into
@@ -51,15 +79,31 @@ type ovtModule struct {
 	srv   *sim.Server[any]
 
 	capacity int
-	recs     map[uint32]*verRec
-	stashed  []ovtNewVersionMsg // deferred creations while full
-	// pendingUses and pendingQueries buffer messages that arrive for a
-	// version whose creation is still stashed.
-	pendingUses    map[uint32]int
-	pendingQueries map[uint32][]OperandID
 
-	buckets map[int][]uint64 // free rename buffers by log2 size
-	nextBuf uint64           // bump allocator for fresh bucket chunks
+	// Open-addressed index: version number → slab slot. Linear probing
+	// with backward-shift deletion; sized at construction for the table
+	// capacity at ≤½ load and regrown only if overload (pending records)
+	// ever pushes past that.
+	tabMask uint32
+	tabKeys []uint32
+	tabSlot []int32 // slab index, -1 = empty
+	tabUsed int
+
+	slab     [][]verRec // chunked slab; index i → slab[i/chunk][i%chunk]
+	slabLen  int
+	freeSlab []int32 // free slot stack
+	nlive    int     // records in the live (non-pending) state
+
+	stashed sim.FIFO[ovtNewVersionMsg] // deferred creations while full
+
+	// Free rename buffers by log2 size: fixed stacks, refilled by carving
+	// 16-buffer chunks from the bump-allocated region.
+	buckets [maxBucketLog2 + 1][]uint64
+	nextBuf uint64
+
+	qFree []([]OperandID) // recycled pending-query slices
+
+	freeCopyDone *ovtCopyDoneEvent
 
 	// Stats.
 	created, released  uint64
@@ -78,16 +122,151 @@ func newOVT(fe *Frontend, index int) *ovtModule {
 		fe:       fe,
 		index:    index,
 		capacity: int(fe.cfg.OVTBytesEach / ovtEntryBytes),
-		recs:     make(map[uint32]*verRec),
-		buckets:  make(map[int][]uint64),
 		// Rename buffers live in a private high region per OVT.
-		nextBuf:        (uint64(1) << 44) + uint64(index)<<40,
-		pendingUses:    make(map[uint32]int),
-		pendingQueries: make(map[uint32][]OperandID),
+		nextBuf: (uint64(1) << 44) + uint64(index)<<40,
 	}
+	// Size the index for capacity live records at ≤½ load.
+	size := uint32(16)
+	for size < uint32(2*o.capacity) {
+		size <<= 1
+	}
+	o.tabInit(size)
+	o.slab = append(o.slab, make([]verRec, ovtSlabChunk))
 	o.srv = sim.NewServer[any](fe.eng, "ovt", o.handle)
 	return o
 }
+
+// --- version index (open addressing) ---
+
+const verHashMul = 0x9E3779B1 // 2^32 / φ, Fibonacci hashing
+
+func (o *ovtModule) tabInit(size uint32) {
+	o.tabMask = size - 1
+	o.tabKeys = make([]uint32, size)
+	o.tabSlot = make([]int32, size)
+	for i := range o.tabSlot {
+		o.tabSlot[i] = -1
+	}
+	o.tabUsed = 0
+}
+
+func (o *ovtModule) tabHome(num uint32) uint32 {
+	return (num * verHashMul) & o.tabMask
+}
+
+// rec returns the record (live or pending) for a version number, or nil.
+func (o *ovtModule) rec(num uint32) *verRec {
+	i := o.tabHome(num)
+	for {
+		s := o.tabSlot[i]
+		if s < 0 {
+			return nil
+		}
+		if o.tabKeys[i] == num {
+			return o.slabAt(s)
+		}
+		i = (i + 1) & o.tabMask
+	}
+}
+
+func (o *ovtModule) slabAt(i int32) *verRec {
+	return &o.slab[i/ovtSlabChunk][i%ovtSlabChunk]
+}
+
+// insert binds num to a fresh slab slot and returns the record, zeroed
+// except for its recycled queries capacity. Version numbers are unique
+// among live+pending records, so no duplicate check is needed.
+func (o *ovtModule) insert(num uint32) *verRec {
+	if uint32(o.tabUsed)*2 >= uint32(len(o.tabKeys)) {
+		o.tabGrow()
+	}
+	var slot int32
+	if n := len(o.freeSlab); n > 0 {
+		slot = o.freeSlab[n-1]
+		o.freeSlab = o.freeSlab[:n-1]
+	} else {
+		if o.slabLen == len(o.slab)*ovtSlabChunk {
+			o.slab = append(o.slab, make([]verRec, ovtSlabChunk))
+		}
+		slot = int32(o.slabLen)
+		o.slabLen++
+	}
+	i := o.tabHome(num)
+	for o.tabSlot[i] >= 0 {
+		i = (i + 1) & o.tabMask
+	}
+	o.tabKeys[i] = num
+	o.tabSlot[i] = slot
+	o.tabUsed++
+	rec := o.slabAt(slot)
+	q := rec.queries[:0]
+	*rec = verRec{queries: q}
+	return rec
+}
+
+// remove deletes num from the index and returns its slab slot to the free
+// stack (backward-shift deletion keeps probe chains intact).
+func (o *ovtModule) remove(num uint32) {
+	i := o.tabHome(num)
+	for o.tabKeys[i] != num || o.tabSlot[i] < 0 {
+		i = (i + 1) & o.tabMask
+	}
+	o.freeSlab = append(o.freeSlab, o.tabSlot[i])
+	mask := o.tabMask
+	j := i
+	for {
+		o.tabSlot[i] = -1
+		for {
+			j = (j + 1) & mask
+			if o.tabSlot[j] < 0 {
+				o.tabUsed--
+				return
+			}
+			home := o.tabHome(o.tabKeys[j])
+			if (j-home)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		o.tabKeys[i] = o.tabKeys[j]
+		o.tabSlot[i] = o.tabSlot[j]
+		i = j
+	}
+}
+
+// tabGrow doubles the index (overload only: the construction size already
+// covers the full live capacity at ½ load).
+func (o *ovtModule) tabGrow() {
+	oldKeys, oldSlot := o.tabKeys, o.tabSlot
+	o.tabInit(uint32(len(oldKeys)) * 2)
+	for i, s := range oldSlot {
+		if s < 0 {
+			continue
+		}
+		j := o.tabHome(oldKeys[i])
+		for o.tabSlot[j] >= 0 {
+			j = (j + 1) & o.tabMask
+		}
+		o.tabKeys[j] = oldKeys[i]
+		o.tabSlot[j] = s
+		o.tabUsed++
+	}
+}
+
+// pendingRec returns the pending record for num, creating it if absent.
+func (o *ovtModule) pendingRec(num uint32) *verRec {
+	if r := o.rec(num); r != nil {
+		return r
+	}
+	r := o.insert(num)
+	r.pending = true
+	return r
+}
+
+// pendingCount returns the number of pending (stash-shadow) records; used
+// by tests and leak checks.
+func (o *ovtModule) pendingCount() int { return o.tabUsed - o.nlive }
+
+// --- message handling ---
 
 func (o *ovtModule) handle(m any) sim.Cycle {
 	switch msg := m.(type) {
@@ -122,15 +301,15 @@ func (o *ovtModule) handle(m any) sim.Cycle {
 
 // bucketFor returns the power-of-2 bucket index for a size.
 func bucketFor(size uint32) int {
-	b := 8 // minimum 256 B buffers
+	b := minBucketLog2 // minimum 256 B buffers
 	for (uint32(1) << b) < size {
 		b++
 	}
 	return b
 }
 
-// allocBuffer grabs a rename buffer from the appropriate bucket, refilling
-// the bucket from the OS-assigned region when empty.
+// allocBuffer grabs a rename buffer from the appropriate free stack,
+// refilling the stack from the OS-assigned region when empty.
 func (o *ovtModule) allocBuffer(size uint32) (uint64, int) {
 	b := bucketFor(size)
 	free := o.buckets[b]
@@ -158,15 +337,27 @@ func (o *ovtModule) freeBuffer(buf uint64, bucket int) {
 
 func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle {
 	cost := o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
-	if len(o.recs) >= o.capacity {
-		o.stashed = append(o.stashed, m)
+	if o.nlive >= o.capacity {
+		o.stashed.Push(m)
 		if !replay {
 			o.stallEvents++
 			o.fe.setStall(stallSrcOVT(o.index), true)
 		}
 		return cost
 	}
-	rec := &verRec{
+	rec := o.rec(m.v.Num)
+	var queries []OperandID
+	p := 0
+	if rec != nil {
+		// A pending shadow exists: absorb its netted uses and take its
+		// parked queries (answered below, once the buffer is known).
+		p = rec.pendUses
+		queries = rec.queries
+		rec.queries = nil
+	} else {
+		rec = o.insert(m.v.Num)
+	}
+	*rec = verRec{
 		id:          m.v,
 		base:        m.base,
 		size:        m.size,
@@ -174,18 +365,19 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 		granted:     int(m.initialUse),
 		hasProducer: m.hasProducer,
 		producer:    m.producer,
+		queries:     rec.queries[:0],
 	}
 	if !m.hasProducer {
 		// Producer-less (memory) versions: the initial reader counts as
 		// a chained consumer for the chain-length statistic.
 		rec.totalUses = int(m.initialUse)
 	}
-	o.recs[m.v.Num] = rec
+	o.nlive++
 	o.created++
-	if len(o.recs) > o.maxLive {
-		o.maxLive = len(o.recs)
+	if o.nlive > o.maxLive {
+		o.maxLive = o.nlive
 	}
-	if p, ok := o.pendingUses[m.v.Num]; ok {
+	if p != 0 {
 		// p may be negative when holders finished before the stashed
 		// creation was processed. Grants only count positive additions.
 		rec.useCount += p
@@ -193,19 +385,26 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 			rec.granted += p
 			rec.totalUses += p
 		}
-		delete(o.pendingUses, m.v.Num)
-	}
-	if qs := o.pendingQueries[m.v.Num]; len(qs) > 0 {
-		// Buffer resolution for consumers that queried before creation:
-		// deferred until the buffer is known, at the end of creation.
-		defer func() {
-			for _, c := range qs {
-				o.sendDataReady(c, rec.buf, false)
-			}
-			delete(o.pendingQueries, m.v.Num)
-		}()
 	}
 
+	// createVersion runs the Figure 7–9 flows and returns the buffer the
+	// version resolved to; parked queries are answered last, preserving
+	// the message order of the pre-arena implementation (the record may
+	// die and its slab slot be reused during nested stash replays, so the
+	// buffer value is captured rather than re-read).
+	buf := o.createVersion(m, rec)
+	for _, c := range queries {
+		o.sendDataReady(c, buf, false)
+	}
+	if queries != nil {
+		o.qFree = append(o.qFree, queries[:0])
+	}
+	return cost
+}
+
+// createVersion services the body of a version creation once admitted; it
+// returns the buffer address the version starts with.
+func (o *ovtModule) createVersion(m ovtNewVersionMsg, rec *verRec) uint64 {
 	if !m.hasPrev {
 		// First version of the object: data lives at the home address.
 		rec.buf = m.base
@@ -214,11 +413,11 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 			o.grantOutput(rec)
 		}
 		o.maybeRelease(rec)
-		return cost
+		return rec.buf
 	}
 
-	prev := o.recs[m.prev.Num]
-	if prev == nil {
+	prev := o.rec(m.prev.Num)
+	if prev == nil || prev.pending {
 		panic("ovt: new version supersedes unknown version")
 	}
 	prev.superseded = true
@@ -238,9 +437,10 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 		}
 		prev.hasWaiter = true
 		prev.waiter = m.producer
+		buf := rec.buf
 		o.maybeRelease(prev)
-		o.maybeRelease(rec)
-		return cost
+		o.maybeReleaseByNum(m.v.Num)
+		return buf
 	}
 	// Renamed output: fresh buffer, ready immediately (Figure 7).
 	buf, bucket := o.allocBuffer(m.size)
@@ -250,8 +450,21 @@ func (o *ovtModule) handleNewVersion(m ovtNewVersionMsg, replay bool) sim.Cycle 
 	o.renames++
 	o.grantOutput(rec)
 	o.maybeRelease(prev)
-	o.maybeRelease(rec)
-	return cost
+	o.maybeReleaseByNum(m.v.Num)
+	return buf
+}
+
+// maybeReleaseByNum advances the new version's lifecycle only if it is
+// still live. maybeRelease(prev) above can cascade into nested stash
+// replays that supersede and retire the version being created (its netted
+// use count may already be zero under overload) — its slab slot is then
+// recycled, so the held pointer must not be touched again. The pre-arena
+// code reached the same outcome through the dead-record guard on a stable
+// heap record; re-resolving by version number is the arena equivalent.
+func (o *ovtModule) maybeReleaseByNum(num uint32) {
+	if r := o.rec(num); r != nil && !r.pending {
+		o.maybeRelease(r)
+	}
 }
 
 // sendDataReady ships one pooled readiness notification to an operand's TRS.
@@ -267,11 +480,11 @@ func (o *ovtModule) grantOutput(rec *verRec) {
 }
 
 func (o *ovtModule) handleAddUse(m ovtAddUseMsg) sim.Cycle {
-	rec := o.recs[m.v.Num]
-	if rec == nil {
+	rec := o.rec(m.v.Num)
+	if rec == nil || rec.pending {
 		// The version's creation is stashed behind a full table; hold
 		// the use until it replays.
-		o.pendingUses[m.v.Num]++
+		o.pendingRec(m.v.Num).pendUses++
 		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
 	}
 	rec.useCount++
@@ -281,12 +494,12 @@ func (o *ovtModule) handleAddUse(m ovtAddUseMsg) sim.Cycle {
 }
 
 func (o *ovtModule) handleDecUse(m ovtDecUseMsg) sim.Cycle {
-	rec := o.recs[m.v.Num]
-	if rec == nil {
+	rec := o.rec(m.v.Num)
+	if rec == nil || rec.pending {
 		// The version's creation is stashed behind a full table and its
 		// holder already finished (ORT-miss readers are ready at
 		// decode). Net the release against the pending creation.
-		o.pendingUses[m.v.Num]--
+		o.pendingRec(m.v.Num).pendUses--
 		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
 	}
 	rec.useCount--
@@ -298,10 +511,17 @@ func (o *ovtModule) handleDecUse(m ovtDecUseMsg) sim.Cycle {
 }
 
 func (o *ovtModule) handleQuery(m ovtQueryBufMsg) sim.Cycle {
-	rec := o.recs[m.v.Num]
-	if rec == nil {
+	rec := o.rec(m.v.Num)
+	if rec == nil || rec.pending {
 		// Creation stashed: answer when it replays.
-		o.pendingQueries[m.v.Num] = append(o.pendingQueries[m.v.Num], m.consumer)
+		p := o.pendingRec(m.v.Num)
+		if p.queries == nil {
+			if n := len(o.qFree); n > 0 {
+				p.queries = o.qFree[n-1]
+				o.qFree = o.qFree[:n-1]
+			}
+		}
+		p.queries = append(p.queries, m.consumer)
 		return o.fe.cfg.ProcCycles + o.fe.cfg.EDRAMCycles
 	}
 	o.sendDataReady(m.consumer, rec.buf, false)
@@ -324,14 +544,16 @@ func (o *ovtModule) maybeRelease(rec *verRec) {
 		// Idle latest version in a rename buffer: copy the data back to
 		// the original object address with the external DMA engine.
 		rec.copyInFlight = true
-		src, dst, size := rec.buf, rec.base, rec.size
-		id := rec.id
 		o.copyBacks++
-		o.fe.copyEngine.Copy(src, dst, size, func() {
-			cm := o.fe.pools.copyDone.get()
-			*cm = ovtCopyDoneMsg{v: id}
-			o.srv.Submit(cm)
-		})
+		ev := o.freeCopyDone
+		if ev == nil {
+			ev = &ovtCopyDoneEvent{o: o}
+		} else {
+			o.freeCopyDone = ev.next
+			ev.next = nil
+		}
+		ev.v = rec.id
+		o.fe.copyEngine.Copy(rec.buf, rec.base, rec.size, ev)
 		return
 	}
 	if !rec.releasePending {
@@ -345,9 +567,29 @@ func (o *ovtModule) maybeRelease(rec *verRec) {
 // ovtCopyDoneMsg is the internal completion event of a DMA copy-back.
 type ovtCopyDoneMsg struct{ v VersionID }
 
+// ovtCopyDoneEvent adapts a DMA completion to the module's message queue;
+// instances recycle through the module's free list so copy-backs do not
+// allocate.
+type ovtCopyDoneEvent struct {
+	o    *ovtModule
+	v    VersionID
+	next *ovtCopyDoneEvent
+}
+
+// Fire implements sim.Event: it recycles itself, then submits the pooled
+// copy-done message.
+func (ev *ovtCopyDoneEvent) Fire() {
+	o, v := ev.o, ev.v
+	ev.next = o.freeCopyDone
+	o.freeCopyDone = ev
+	cm := o.fe.pools.copyDone.get()
+	*cm = ovtCopyDoneMsg{v: v}
+	o.srv.Submit(cm)
+}
+
 func (o *ovtModule) handleCopyDone(m ovtCopyDoneMsg) sim.Cycle {
-	rec := o.recs[m.v.Num]
-	if rec == nil {
+	rec := o.rec(m.v.Num)
+	if rec == nil || rec.pending {
 		return o.fe.cfg.ProcCycles
 	}
 	rec.copyInFlight = false
@@ -377,15 +619,16 @@ func (o *ovtModule) die(rec *verRec) {
 		o.inPlaceUnblocks++
 		o.sendDataReady(rec.waiter, rec.buf, true)
 	}
-	delete(o.recs, rec.id.Num)
+	o.remove(rec.id.Num)
+	o.nlive--
 	o.released++
 	o.replayStashed()
 }
 
 func (o *ovtModule) handleReleaseAck(m ovtReleaseAckMsg) sim.Cycle {
-	rec := o.recs[m.v.Num]
+	rec := o.rec(m.v.Num)
 	cost := o.fe.cfg.ProcCycles
-	if rec == nil {
+	if rec == nil || rec.pending {
 		return cost
 	}
 	rec.releasePending = false
@@ -409,15 +652,14 @@ func (o *ovtModule) handleReleaseAck(m ovtReleaseAckMsg) sim.Cycle {
 
 // replayStashed admits deferred version creations after a release.
 func (o *ovtModule) replayStashed() {
-	for len(o.stashed) > 0 && len(o.recs) < o.capacity {
-		m := o.stashed[0]
-		o.stashed = o.stashed[1:]
+	for o.stashed.Len() > 0 && o.nlive < o.capacity {
+		m := o.stashed.Pop()
 		o.handleNewVersion(m, true)
 	}
-	if len(o.stashed) == 0 {
+	if o.stashed.Len() == 0 {
 		o.fe.setStall(stallSrcOVT(o.index), false)
 	}
 }
 
 // live returns the number of live version records.
-func (o *ovtModule) live() int { return len(o.recs) }
+func (o *ovtModule) live() int { return o.nlive }

@@ -23,14 +23,28 @@ type opRec struct {
 	consumers []OperandID // ablation mode only (Chaining=false)
 }
 
+// reset clears an operand record for reuse, keeping the consumers slice's
+// capacity (the ablation mode refills it without allocating).
+func (op *opRec) reset() {
+	c := op.consumers[:0]
+	*op = opRec{consumers: c}
+}
+
 // taskRec is the in-flight task meta-data held by a TRS (main block plus
-// indirect blocks).
+// indirect blocks). Records live in the station's slot arena: the first
+// mainBlockOperands operands are embedded inline (the paper's main block),
+// the rest spill to a per-slot slice whose capacity is reused when the slot
+// recycles (the indirect blocks).
 type taskRec struct {
-	id     TaskID
-	gen    uint32
-	task   *taskmodel.Task
+	id   TaskID
+	gen  uint32
+	live bool
+	task *taskmodel.Task
+
 	blocks int
-	ops    []opRec
+	nops   int
+	main   [mainBlockOperands]opRec
+	spill  []opRec
 
 	pendingOps   int // operand records not yet stored
 	pendingReady int // data-ready messages not yet received
@@ -40,8 +54,23 @@ type taskRec struct {
 	readyAt   sim.Cycle
 }
 
+// op returns the i-th operand record.
+func (r *taskRec) op(i int) *opRec {
+	if i < mainBlockOperands {
+		return &r.main[i]
+	}
+	return &r.spill[i-mainBlockOperands]
+}
+
+// trsSlabChunk sizes the slot arena's chunks; chunked growth keeps record
+// addresses stable across allocations (handlers hold *taskRec while serving
+// deferred allocation queues).
+const trsSlabChunk = 512
+
 // trsModule is one task reservation station: an eDRAM block store whose
-// controller serializes protocol messages.
+// controller serializes protocol messages. Task records live in a
+// preallocated, slot-indexed arena (generation-checked) rather than on the
+// heap, so steady-state task turnover does not allocate.
 type trsModule struct {
 	fe    *Frontend
 	index int
@@ -52,11 +81,11 @@ type trsModule struct {
 	freeBlocks  int
 	sramHeads   int // block addresses staged in the SRAM buffer
 
-	slots     []*taskRec
+	slab      [][]taskRec // chunked slot arena; slot s → slab[s/chunk][s%chunk]
+	slabLen   int
 	freeSlots []uint32
-	gens      []uint32
 
-	deferred     []trsAllocMsg // allocation requests awaiting free blocks
+	deferred     sim.FIFO[trsAllocMsg] // allocation requests awaiting free blocks
 	reportedFull bool
 
 	// Stats.
@@ -75,8 +104,14 @@ func newTRS(fe *Frontend, index int) *trsModule {
 	}
 	t.freeBlocks = t.totalBlocks
 	t.sramHeads = sramFreeListHeads
+	t.slab = append(t.slab, make([]taskRec, trsSlabChunk))
 	t.srv = sim.NewServer[any](fe.eng, "trs", t.handle)
 	return t
+}
+
+// slot returns the arena record at a slot index.
+func (t *trsModule) slot(s uint32) *taskRec {
+	return &t.slab[s/trsSlabChunk][s%trsSlabChunk]
 }
 
 // handle copies each pooled message out and recycles it before dispatching,
@@ -134,9 +169,9 @@ func (t *trsModule) handleAlloc(m trsAllocMsg) sim.Cycle {
 		// Defer until a task frees storage; the gateway's in-order issue
 		// stage blocks on this task, which is exactly the paper's
 		// "task window full" stall.
-		t.deferred = append(t.deferred, m)
-		if len(t.deferred) > t.deferredHighWater {
-			t.deferredHighWater = len(t.deferred)
+		t.deferred.Push(m)
+		if t.deferred.Len() > t.deferredHighWater {
+			t.deferredHighWater = t.deferred.Len()
 		}
 		return t.fe.cfg.ProcCycles
 	}
@@ -151,21 +186,35 @@ func (t *trsModule) allocate(m trsAllocMsg, blocks int) sim.Cycle {
 		slot = t.freeSlots[n-1]
 		t.freeSlots = t.freeSlots[:n-1]
 	} else {
-		slot = uint32(len(t.slots))
-		t.slots = append(t.slots, nil)
-		t.gens = append(t.gens, 0)
+		if t.slabLen == len(t.slab)*trsSlabChunk {
+			t.slab = append(t.slab, make([]taskRec, trsSlabChunk))
+		}
+		slot = uint32(t.slabLen)
+		t.slabLen++
 	}
-	t.gens[slot]++
-	rec := &taskRec{
-		id:           TaskID{TRS: uint16(t.index), Slot: slot},
-		gen:          t.gens[slot],
-		task:         m.task,
-		blocks:       blocks,
-		ops:          make([]opRec, nops),
-		pendingOps:   nops,
-		pendingReady: 0,
+	rec := t.slot(slot)
+	rec.gen++
+	rec.live = true
+	rec.id = TaskID{TRS: uint16(t.index), Slot: slot}
+	rec.task = m.task
+	rec.blocks = blocks
+	rec.nops = nops
+	if spill := nops - mainBlockOperands; spill > 0 {
+		if cap(rec.spill) < spill {
+			rec.spill = make([]opRec, spill)
+		}
+		rec.spill = rec.spill[:spill]
+	} else {
+		rec.spill = rec.spill[:0]
 	}
-	t.slots[slot] = rec
+	for i := 0; i < nops; i++ {
+		rec.op(i).reset()
+	}
+	rec.pendingOps = nops
+	rec.pendingReady = 0
+	rec.dispatched = false
+	rec.decodedAt = 0
+	rec.readyAt = 0
 	t.allocated++
 	t.bytesAllocated += uint64(blocks * trsBlockBytes)
 	t.bytesUsed += uint64(taskRecordBytes(nops))
@@ -198,11 +247,11 @@ func (t *trsModule) allocate(m trsAllocMsg, blocks int) sim.Cycle {
 // rec returns the live record for id, or nil when the slot was freed or
 // reused.
 func (t *trsModule) rec(id TaskID, gen uint32, checkGen bool) *taskRec {
-	if int(id.Slot) >= len(t.slots) {
+	if int(id.Slot) >= t.slabLen {
 		return nil
 	}
-	r := t.slots[id.Slot]
-	if r == nil {
+	r := t.slot(id.Slot)
+	if !r.live {
 		return nil
 	}
 	if checkGen && r.gen != gen {
@@ -211,12 +260,21 @@ func (t *trsModule) rec(id TaskID, gen uint32, checkGen bool) *taskRec {
 	return r
 }
 
+// gen returns the slot's current generation (it survives frees, so the ORT
+// can stamp last-user references that may outlive the task).
+func (t *trsModule) slotGen(slot uint32) uint32 {
+	if int(slot) >= t.slabLen {
+		return 0
+	}
+	return t.slot(slot).gen
+}
+
 func (t *trsModule) handleOperandInfo(m trsOperandInfoMsg) sim.Cycle {
 	r := t.rec(m.op.Task, 0, false)
 	if r == nil {
 		panic("trs: operand info for freed slot")
 	}
-	op := &r.ops[m.op.Index]
+	op := r.op(int(m.op.Index))
 	op.base = m.base
 	op.size = m.size
 	op.dir = m.dir
@@ -258,7 +316,7 @@ func (t *trsModule) handleScalar(m trsScalarMsg) sim.Cycle {
 	if r == nil {
 		panic("trs: scalar for freed slot")
 	}
-	op := &r.ops[m.op.Index]
+	op := r.op(int(m.op.Index))
 	op.dir = taskmodel.Scalar
 	op.stored = true
 	op.dataDone = true
@@ -290,7 +348,7 @@ func (t *trsModule) handleRegisterConsumer(m trsRegisterConsumerMsg) sim.Cycle {
 		t.fe.sendToOVT(t.node, int(m.queryVersion.OVT), qm)
 		return cost
 	}
-	op := &r.ops[m.producer.Index]
+	op := r.op(int(m.producer.Index))
 	if !t.fe.cfg.Chaining {
 		op.consumers = append(op.consumers, m.consumer)
 		if op.dir == taskmodel.In && op.dataDone {
@@ -313,7 +371,7 @@ func (t *trsModule) handleDataReady(m trsDataReadyMsg) sim.Cycle {
 	if r == nil {
 		panic("trs: data ready for freed slot")
 	}
-	op := &r.ops[m.op.Index]
+	op := r.op(int(m.op.Index))
 	cost := t.fe.cfg.ProcCycles + t.fe.cfg.EDRAMCycles
 	if op.pending <= 0 {
 		panic("trs: duplicate data ready")
@@ -356,7 +414,7 @@ func (t *trsModule) forward(op *opRec, buf uint64) {
 	for _, c := range op.consumers {
 		t.sendDataReady(int(c.Task.TRS), c, buf, false)
 	}
-	op.consumers = nil
+	op.consumers = op.consumers[:0]
 }
 
 // maybeDispatch sends the task to the ready queue once fully decoded and all
@@ -367,9 +425,15 @@ func (t *trsModule) maybeDispatch(r *taskRec) sim.Cycle {
 	}
 	r.dispatched = true
 	r.readyAt = t.fe.eng.Now()
-	ops := make([]ResolvedOperand, len(r.ops))
-	for i := range r.ops {
-		op := &r.ops[i]
+	rt := t.fe.getReadyTask()
+	ops := rt.Operands
+	if cap(ops) < r.nops {
+		ops = make([]ResolvedOperand, r.nops)
+	} else {
+		ops = ops[:r.nops]
+	}
+	for i := 0; i < r.nops; i++ {
+		op := r.op(i)
 		buf := op.buf
 		if op.dir == taskmodel.Scalar {
 			buf = 0
@@ -381,13 +445,12 @@ func (t *trsModule) maybeDispatch(r *taskRec) sim.Cycle {
 			Dir:  op.dir,
 		}
 	}
-	t.fe.dispatchReady(t.node, &ReadyTask{
-		ID:        r.id,
-		Task:      r.task,
-		Operands:  ops,
-		DecodedAt: r.decodedAt,
-		ReadyAt:   r.readyAt,
-	})
+	rt.ID = r.id
+	rt.Task = r.task
+	rt.Operands = ops
+	rt.DecodedAt = r.decodedAt
+	rt.ReadyAt = r.readyAt
+	t.fe.dispatchReady(t.node, rt)
 	return t.fe.cfg.EDRAMCycles // read the record out for dispatch
 }
 
@@ -397,10 +460,10 @@ func (t *trsModule) handleFinished(m trsTaskFinishedMsg) sim.Cycle {
 		panic("trs: finish for freed slot")
 	}
 	// Traverse all operands: notify consumers, release version uses.
-	cost := t.fe.cfg.ProcCycles * sim.Cycle(max(1, len(r.ops)))
+	cost := t.fe.cfg.ProcCycles * sim.Cycle(max(1, r.nops))
 	cost += sim.Cycle(r.blocks) * t.fe.cfg.EDRAMCycles
-	for i := range r.ops {
-		op := &r.ops[i]
+	for i := 0; i < r.nops; i++ {
+		op := r.op(i)
 		if op.dir == taskmodel.Scalar {
 			continue
 		}
@@ -413,25 +476,27 @@ func (t *trsModule) handleFinished(m trsTaskFinishedMsg) sim.Cycle {
 		*du = ovtDecUseMsg{v: op.version}
 		t.fe.sendToOVT(t.node, int(op.version.OVT), du)
 	}
-	// Free the task storage.
-	t.slots[m.id.Slot] = nil
+	// Free the task storage (the slot keeps its generation counter).
+	blocks := r.blocks
+	r.live = false
+	r.task = nil
 	t.freeSlots = append(t.freeSlots, m.id.Slot)
-	t.freeBlocks += r.blocks
+	t.freeBlocks += blocks
 	t.freed++
 	t.fe.noteWindowDelta(-1)
 	t.fe.noteTaskRetired(r)
 
 	// Serve deferred allocations in order.
-	for len(t.deferred) > 0 {
-		d := t.deferred[0]
+	for t.deferred.Len() > 0 {
+		d := *t.deferred.Front()
 		blocks := blocksForOperands(d.task.NumOperands())
 		if blocks > t.freeBlocks {
 			break
 		}
-		t.deferred = t.deferred[1:]
+		t.deferred.Pop()
 		cost += t.allocate(d, blocks)
 	}
-	if t.reportedFull && len(t.deferred) == 0 && t.freeBlocks >= blocksForOperands(MaxOperands) {
+	if t.reportedFull && t.deferred.Len() == 0 && t.freeBlocks >= blocksForOperands(MaxOperands) {
 		t.reportedFull = false
 		sf := t.fe.pools.spaceFreed.get()
 		*sf = gwSpaceFreedMsg{trs: t.index}

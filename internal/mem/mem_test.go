@@ -266,8 +266,8 @@ func TestL1CapacityEviction(t *testing.T) {
 	if st.used > m.cfg.L1Bytes {
 		t.Fatalf("L1 over capacity: %d > %d", st.used, m.cfg.L1Bytes)
 	}
-	if len(st.objs) != 4 {
-		t.Fatalf("expected 4 resident objects, got %d", len(st.objs))
+	if st.n != 4 {
+		t.Fatalf("expected 4 resident objects, got %d", st.n)
 	}
 	// The first-fetched object must be the evicted one (LRU).
 	if m.resident(0, 0x100000) {
@@ -294,7 +294,7 @@ func TestWritebackMakesDataVisible(t *testing.T) {
 	if !fin {
 		t.Fatal("writeback never completed")
 	}
-	ent := m.dir[0x30000]
+	ent := m.dir.get(0x30000)
 	if ent.owner != -1 || !ent.inL2 {
 		t.Fatalf("directory after writeback: owner=%d inL2=%v", ent.owner, ent.inL2)
 	}
@@ -305,7 +305,7 @@ func TestDMACopyInvalidatesDst(t *testing.T) {
 	m.Fetch(0, 0x40000, 4096, nil)
 	e.Run()
 	done := false
-	m.Copy(0x50000, 0x40000, 4096, func() { done = true })
+	m.Copy(0x50000, 0x40000, 4096, sim.FuncEvent(func() { done = true }))
 	e.Run()
 	if !done {
 		t.Fatal("DMA copy never completed")
@@ -367,22 +367,21 @@ func TestCoherenceInvariantProperty(t *testing.T) {
 				return false
 			}
 			var sum uint64
-			for _, o := range m.l1[c].objs {
+			m.l1[c].forEach(func(_ uint64, o *l1Obj) {
 				sum += uint64(o.size)
-			}
+			})
 			if sum != m.l1[c].used {
 				return false
 			}
 		}
 		// Every owner in the directory must actually hold the object.
-		for base, ent := range m.dir {
-			if ent.owner >= 0 {
-				if _, ok := m.l1[ent.owner].objs[base]; !ok {
-					return false
-				}
+		ok := true
+		m.dir.forEach(func(base uint64, ent *dirEntry) {
+			if ent.owner >= 0 && m.l1[ent.owner].get(base) == nil {
+				ok = false
 			}
-		}
-		return true
+		})
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

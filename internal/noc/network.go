@@ -36,6 +36,7 @@ type Network struct {
 	nodes  []node
 
 	coresPerRing int
+	coreCount    int
 	// pending global stops are allocated before Build.
 	built        bool
 	globalOrder  []NodeID // global-resident nodes in attach order
@@ -63,14 +64,9 @@ func (n *Network) AddCore(name string) NodeID {
 		panic("noc: AddCore after Build")
 	}
 	id := NodeID(len(n.nodes))
-	coreCount := 0
-	for _, nd := range n.nodes {
-		if nd.kind == kindCore {
-			coreCount++
-		}
-	}
-	ring := coreCount / n.coresPerRing
-	stop := coreCount % n.coresPerRing
+	ring := n.coreCount / n.coresPerRing
+	stop := n.coreCount % n.coresPerRing
+	n.coreCount++
 	n.nodes = append(n.nodes, node{kind: kindCore, name: name, localRing: ring, localStop: stop})
 	return id
 }
@@ -93,13 +89,7 @@ func (n *Network) Build() {
 	if n.built {
 		return
 	}
-	coreCount := 0
-	for _, nd := range n.nodes {
-		if nd.kind == kindCore {
-			coreCount++
-		}
-	}
-	nRings := (coreCount + n.coresPerRing - 1) / n.coresPerRing
+	nRings := (n.coreCount + n.coresPerRing - 1) / n.coresPerRing
 	n.locals = make([]*Ring, nRings)
 	for i := range n.locals {
 		// +1 stop for the bridge to the global ring.
@@ -210,13 +200,13 @@ func (n *Network) send(from, to NodeID, bytes uint32, sink sim.Sink, m any, ev s
 	if !n.built {
 		panic("noc: Send before Build")
 	}
-	nf, nt := n.nodes[from], n.nodes[to]
+	nf, nt := &n.nodes[from], &n.nodes[to]
 	n.messages++
 	sent := n.eng.Now()
 
 	// Single-ring routes: reserve now, schedule the completion directly.
-	if single := n.singleRing(&nf, &nt); single != nil {
-		sf, st := n.ringStops(&nf, &nt)
+	if single := n.singleRing(nf, nt); single != nil {
+		sf, st := n.ringStops(nf, nt)
 		var arrival sim.Cycle
 		switch {
 		case sink != nil:

@@ -36,19 +36,31 @@ type Ring struct {
 	name  string
 	stops int
 	cfg   Config
-	// segBusy[dir][segment][conn] holds the cycle at which that
-	// connection slot frees. dir 0 = clockwise, 1 = counter-clockwise.
-	segBusy [2][][]sim.Cycle
+	// segBusy holds, for every (direction, segment, connection) triple,
+	// the cycle at which that connection slot frees, flattened into one
+	// contiguous array: slot c of segment s in direction d lives at
+	// ((d*stops)+s)*SegConns + c. The reservation scan walks this on
+	// every transfer, so locality matters. dir 0 = clockwise, 1 = ccw.
+	segBusy []sim.Cycle
 
 	// lastArrival enforces point-to-point FIFO delivery per (from,to)
 	// pair: hardware rings deliver same-route messages in order (ordered
-	// virtual channels), and the frontend protocol depends on it.
-	lastArrival map[int]sim.Cycle
+	// virtual channels), and the frontend protocol depends on it. Routes
+	// are dense small integers (from*stops+to), so this is a flat table
+	// rather than a map — it sits on the per-message hot path.
+	lastArrival []sim.Cycle
 
-	// Reservation scratch, reused across transfers so the hot path does
-	// not allocate.
-	segScratch  []int
+	// slotScratch/prevScratch record, per hop of the in-flight
+	// reservation, the flat segBusy index booked and the value it
+	// overwrote (for rollback on a contention restart); reused across
+	// transfers.
 	slotScratch []int
+	prevScratch []sim.Cycle
+
+	// linkShift is log2(LinkBytes) when the link width is a power of two
+	// (the common case), letting serCycles shift instead of divide; -1
+	// otherwise.
+	linkShift int
 
 	// Stats.
 	transfers uint64
@@ -67,12 +79,19 @@ func NewRing(eng *sim.Engine, name string, stops int, cfg Config) *Ring {
 	if cfg.LinkBytes == 0 {
 		cfg.LinkBytes = 16
 	}
-	r := &Ring{eng: eng, name: name, stops: stops, cfg: cfg, lastArrival: make(map[int]sim.Cycle)}
-	for d := 0; d < 2; d++ {
-		r.segBusy[d] = make([][]sim.Cycle, stops)
-		for s := range r.segBusy[d] {
-			r.segBusy[d][s] = make([]sim.Cycle, cfg.SegConns)
+	r := &Ring{eng: eng, name: name, stops: stops, cfg: cfg,
+		lastArrival: make([]sim.Cycle, stops*stops),
+		segBusy:     make([]sim.Cycle, 2*stops*cfg.SegConns),
+		slotScratch: make([]int, stops),
+		prevScratch: make([]sim.Cycle, stops),
+	}
+	r.linkShift = -1
+	if lb := cfg.LinkBytes; lb != 0 && lb&(lb-1) == 0 {
+		s := 0
+		for uint32(1)<<s != lb {
+			s++
 		}
+		r.linkShift = s
 	}
 	return r
 }
@@ -81,14 +100,21 @@ func NewRing(eng *sim.Engine, name string, stops int, cfg Config) *Ring {
 func (r *Ring) Stops() int { return r.stops }
 
 // route returns the direction (0 cw, 1 ccw) and hop count for the shortest
-// path from a to b.
+// path from a to b. Stops are in [0, stops), so the cyclic distances reduce
+// to one conditional add — this runs per message, and integer division is
+// the single most expensive instruction on that path.
 func (r *Ring) route(from, to int) (dir, hops int) {
-	cw := (to - from + r.stops) % r.stops
-	ccw := (from - to + r.stops) % r.stops
-	if cw <= ccw {
-		return 0, cw
+	cw := to - from
+	if cw < 0 {
+		cw += r.stops
 	}
-	return 1, ccw
+	if cw == 0 {
+		return 0, 0
+	}
+	if ccw := r.stops - cw; ccw < cw {
+		return 1, ccw
+	}
+	return 0, cw
 }
 
 // serCycles returns the serialization time of a message.
@@ -96,7 +122,12 @@ func (r *Ring) serCycles(bytes uint32) sim.Cycle {
 	if bytes == 0 {
 		bytes = 1
 	}
-	c := sim.Cycle((bytes + r.cfg.LinkBytes - 1) / r.cfg.LinkBytes)
+	var c sim.Cycle
+	if r.linkShift >= 0 {
+		c = sim.Cycle((bytes + r.cfg.LinkBytes - 1) >> r.linkShift)
+	} else {
+		c = sim.Cycle((bytes + r.cfg.LinkBytes - 1) / r.cfg.LinkBytes)
+	}
 	if c < 1 {
 		c = 1
 	}
@@ -150,37 +181,51 @@ func (r *Ring) Reserve(from, to int, bytes uint32) sim.Cycle {
 	// Wormhole reservation: the message enters segment i at
 	// start + i*hop and holds it for ser cycles. Find the earliest start
 	// such that every traversed segment has a free connection slot.
-	start := now + r.cfg.RouterOver
-	segs := r.segScratch[:0]
-	for i := 0; i < hops; i++ {
-		if dir == 0 {
-			segs = append(segs, (from+i)%r.stops)
-		} else {
-			segs = append(segs, (from-1-i+2*r.stops)%r.stops)
+	// Segment indices walk the ring incrementally (cw up from `from`,
+	// ccw down from `from-1`), wrapping by compare — no divisions and no
+	// materialized route on this per-message path.
+	//
+	// The pass is optimistic: each hop books its slot immediately (the
+	// measured restart rate is ~zero). If a later segment is busy, the
+	// bookings made so far are rolled back bit-exact and the scan
+	// restarts at the pushed-back start time — the final segBusy state is
+	// identical to a separate scan-then-book pair.
+	firstSeg := from // cw: hop i crosses segment from+i
+	if dir == 1 {    // ccw: hop i crosses segment from-1-i
+		firstSeg = from - 1
+		if firstSeg < 0 {
+			firstSeg += r.stops
 		}
 	}
-	r.segScratch = segs
-	slots := r.slotScratch
-	if cap(slots) < hops {
-		slots = make([]int, hops)
-		r.slotScratch = slots
-	}
-	slots = slots[:hops]
-	for i := 0; i < hops; i++ {
+	start := now + r.cfg.RouterOver
+	booked := r.slotScratch // flat segBusy index of each booked slot
+	saved := r.prevScratch  // the value each booking overwrote
+	conns := r.cfg.SegConns
+	for i, s := 0, firstSeg; i < hops; i++ {
 		enter := start + sim.Cycle(i)*r.cfg.HopCycles
-		slot, free := r.earliestSlot(dir, segs[i])
+		segBase := (dir*r.stops + s) * conns
+		var slot int
+		var free sim.Cycle
+		if conns == 4 { // default geometry: unrolled, inlinable scan
+			slot, free = earliestSlot4(r.segBusy[segBase : segBase+4 : segBase+4])
+		} else {
+			slot, free = earliestSlotN(r.segBusy[segBase : segBase+conns : segBase+conns])
+		}
 		if free > enter {
-			// Push the whole message start later and restart the scan,
-			// since earlier segments must be re-reserved at the new time.
+			// Roll back this attempt's bookings, push the whole message
+			// start later, and restart: earlier segments must be
+			// re-reserved at the new time.
+			for k := 0; k < i; k++ {
+				r.segBusy[booked[k]] = saved[k]
+			}
 			start += free - enter
-			i = -1
+			i, s = -1, firstSeg
 			continue
 		}
-		slots[i] = slot
-	}
-	for i, s := range segs {
-		enter := start + sim.Cycle(i)*r.cfg.HopCycles
-		r.segBusy[dir][s][slots[i]] = enter + ser
+		idx := segBase + slot
+		booked[i], saved[i] = idx, r.segBusy[idx]
+		r.segBusy[idx] = enter + ser
+		s = r.nextSeg(dir, s)
 	}
 	arrival := r.clampFIFO(fifoKey, start+sim.Cycle(hops)*r.cfg.HopCycles+ser)
 	r.waitTotal += start - (now + r.cfg.RouterOver)
@@ -189,7 +234,8 @@ func (r *Ring) Reserve(from, to int, bytes uint32) sim.Cycle {
 	return arrival
 }
 
-// clampFIFO enforces in-order delivery per (from,to) route.
+// clampFIFO enforces in-order delivery per (from,to) route. The table's
+// zero value means "no prior message", exactly like the map it replaced.
 func (r *Ring) clampFIFO(fifoKey int, arrival sim.Cycle) sim.Cycle {
 	if last := r.lastArrival[fifoKey]; arrival <= last {
 		arrival = last + 1
@@ -198,10 +244,41 @@ func (r *Ring) clampFIFO(fifoKey int, arrival sim.Cycle) sim.Cycle {
 	return arrival
 }
 
-// earliestSlot returns the connection slot on segment s (direction dir) that
-// frees first, and the cycle at which it frees.
-func (r *Ring) earliestSlot(dir, s int) (slot int, free sim.Cycle) {
-	busy := r.segBusy[dir][s]
+// nextSeg advances a segment index one hop in the given direction.
+func (r *Ring) nextSeg(dir, s int) int {
+	if dir == 0 {
+		s++
+		if s == r.stops {
+			s = 0
+		}
+		return s
+	}
+	s--
+	if s < 0 {
+		s = r.stops - 1
+	}
+	return s
+}
+
+// earliestSlot4 returns the connection slot of a 4-wide segment that frees
+// first, and the cycle at which it frees; small enough to inline into the
+// reservation loop. Ties resolve to the lowest slot, like earliestSlotN.
+func earliestSlot4(busy []sim.Cycle) (int, sim.Cycle) {
+	slot, free := 0, busy[0]
+	if busy[1] < free {
+		slot, free = 1, busy[1]
+	}
+	if busy[2] < free {
+		slot, free = 2, busy[2]
+	}
+	if busy[3] < free {
+		slot, free = 3, busy[3]
+	}
+	return slot, free
+}
+
+// earliestSlotN is the general-geometry scan.
+func earliestSlotN(busy []sim.Cycle) (slot int, free sim.Cycle) {
 	slot = 0
 	free = busy[0]
 	for i := 1; i < len(busy); i++ {

@@ -1,0 +1,52 @@
+// Package prof wires the standard pprof profilers into the CLIs, so
+// hot-path work starts from a profile instead of a guess (tssim and
+// tsbench expose it as -cpuprofile / -memprofile).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a stop
+// function that finishes the CPU profile and writes a heap profile (if
+// memPath is non-empty). The stop function must run before the process
+// exits normally; paths that os.Exit early lose the profile, like any
+// pprof user. Errors are fatal: a requested profile that cannot be
+// written should fail loudly, not silently produce nothing.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

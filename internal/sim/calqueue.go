@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // calQueue is the engine's pending-event set: a hierarchical calendar queue
 // tuned for discrete-event simulation, where almost every event lands within
 // a few hundred cycles of the clock.
@@ -24,12 +26,32 @@ type calQueue struct {
 	inWin    int      // events currently held in buckets
 	far      farHeap  // events outside [winStart, winStart+calWindow)
 	n        int      // total pending events
+
+	// occ mirrors bucket occupancy, one bit per bucket, so seek jumps to
+	// the next non-empty bucket with a word scan instead of walking empty
+	// cycles one at a time. Invariant: bit i is set iff buckets[i] holds
+	// at least one event.
+	occ [calWindow / 64]uint64
 }
+
+func (q *calQueue) setOcc(i uint32)   { q.occ[i>>6] |= 1 << (i & 63) }
+func (q *calQueue) clearOcc(i uint32) { q.occ[i>>6] &^= 1 << (i & 63) }
 
 const (
 	calWindowBits = 12
 	calWindow     = Cycle(1) << calWindowBits
 	calMask       = calWindow - 1
+
+	// bucketSeedCap is the initial per-bucket capacity, carved from one
+	// contiguous backing array at init. Growing 4096 buckets from nil one
+	// append at a time costs thousands of small allocations per engine;
+	// seeding them from a single slab removes that warm-up tax (buckets
+	// that outgrow the seed reallocate individually and stay warm).
+	bucketSeedCap = 8
+
+	// farSeedCap pre-sizes the far heap so the first few hundred
+	// long-horizon events (task runtimes, DRAM transfers) grow it once.
+	farSeedCap = 256
 )
 
 // cell is one scheduled event. Exactly one of fn and ev is set.
@@ -58,6 +80,11 @@ func (q *calQueue) len() int { return q.n }
 func (q *calQueue) init() {
 	if q.buckets == nil {
 		q.buckets = make([]bucket, calWindow)
+		seed := make([]cell, int(calWindow)*bucketSeedCap)
+		for i := range q.buckets {
+			q.buckets[i].events = seed[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
+		}
+		q.far.h = make([]cell, 0, farSeedCap)
 	}
 }
 
@@ -69,6 +96,9 @@ func (q *calQueue) schedule(c cell) {
 	q.n++
 	if c.at-q.winStart < calWindow { // unsigned: below-window wraps huge
 		b := &q.buckets[c.at&calMask]
+		if len(b.events) == b.head {
+			q.setOcc(uint32(c.at & calMask))
+		}
 		b.events = append(b.events, c)
 		q.inWin++
 		if c.at < q.scan {
@@ -87,6 +117,9 @@ func (q *calQueue) rebase(t Cycle) {
 	for len(q.far.h) > 0 && q.far.h[0].at-q.winStart < calWindow {
 		c := q.far.pop()
 		b := &q.buckets[c.at&calMask]
+		if len(b.events) == b.head {
+			q.setOcc(uint32(c.at & calMask))
+		}
 		b.events = append(b.events, c)
 		q.inWin++
 		if c.at < q.scan {
@@ -96,23 +129,32 @@ func (q *calQueue) rebase(t Cycle) {
 }
 
 // seek advances scan to the next non-empty bucket and returns it. The
-// caller must ensure inWin > 0. Drained buckets are reset so their backing
-// arrays are reused.
+// caller must ensure inWin > 0. The occupancy bitmap turns the walk over
+// empty cycles into a word scan: find the next set bit at or after scan's
+// bucket, circularly (bucket order from scan is cycle order within the
+// window, so the first occupied bucket is the earliest pending cycle).
 func (q *calQueue) seek() *bucket {
-	for {
-		b := &q.buckets[q.scan&calMask]
-		if b.head < len(b.events) {
-			return b
-		}
-		if b.head > 0 {
-			b.events = b.events[:0]
-			b.head = 0
-		}
-		if q.scan-q.winStart >= calWindow {
-			panic("sim: calendar queue window accounting corrupted")
-		}
-		q.scan++
+	// Fast path: the bucket at scan is still non-empty (same-cycle event
+	// bursts are the common case — module costs cluster messages).
+	if b := &q.buckets[q.scan&calMask]; b.head < len(b.events) {
+		return b
 	}
+	start := uint32(q.scan & calMask)
+	w := start >> 6
+	if word := q.occ[w] & (^uint64(0) << (start & 63)); word != 0 {
+		i := w<<6 + uint32(bits.TrailingZeros64(word))
+		q.scan += Cycle(i-start) & calMask
+		return &q.buckets[i]
+	}
+	for k := 1; k <= len(q.occ); k++ {
+		w2 := (w + uint32(k)) % uint32(len(q.occ))
+		if word := q.occ[w2]; word != 0 {
+			i := w2<<6 + uint32(bits.TrailingZeros64(word))
+			q.scan += Cycle(i-start) & calMask
+			return &q.buckets[i]
+		}
+	}
+	panic("sim: calendar queue window accounting corrupted")
 }
 
 // pop removes and returns the earliest cell in (at, seq) order.
@@ -138,6 +180,7 @@ func (q *calQueue) pop() (cell, bool) {
 	if b.head == len(b.events) {
 		b.events = b.events[:0]
 		b.head = 0
+		q.clearOcc(uint32(q.scan & calMask))
 	}
 	q.inWin--
 	q.n--

@@ -1,0 +1,76 @@
+package sim
+
+// FIFO is an allocation-conscious first-in-first-out queue backed by one
+// slice. Popping advances a head index instead of reslicing (`s = s[1:]`
+// permanently discards capacity, so a queue that cycles through it
+// reallocates on almost every push); pushing compacts the consumed prefix
+// back to the front before the backing array would have to grow. A queue
+// that reaches its high-water mark therefore stops allocating entirely —
+// the property the zero-steady-state-allocation invariant of the pipeline
+// modules is built on (see docs/ARCHITECTURE.md).
+//
+// The zero value is an empty queue. FIFO is not safe for concurrent use;
+// like every simulation structure it is owned by one engine goroutine.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }
+
+// Push appends x to the tail.
+func (f *FIFO[T]) Push(x T) {
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		// Reuse the consumed prefix instead of growing.
+		n := copy(f.buf, f.buf[f.head:])
+		clearTail(f.buf, n)
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, x)
+}
+
+// Pop removes and returns the head element. It panics on an empty queue.
+func (f *FIFO[T]) Pop() T {
+	x := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero // release references held by the slot
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return x
+}
+
+// Front returns a pointer to the head element without removing it. The
+// pointer is invalidated by the next Push or Pop.
+func (f *FIFO[T]) Front() *T { return &f.buf[f.head] }
+
+// PopBack removes and returns the tail element (the rare deque case, e.g.
+// work stealing). It panics on an empty queue.
+func (f *FIFO[T]) PopBack() T {
+	last := len(f.buf) - 1
+	x := f.buf[last]
+	var zero T
+	f.buf[last] = zero
+	f.buf = f.buf[:last]
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return x
+}
+
+// At returns a pointer to the i-th queued element (0 = head). The pointer
+// is invalidated by the next Push or Pop.
+func (f *FIFO[T]) At(i int) *T { return &f.buf[f.head+i] }
+
+// clearTail zeroes buf[n:] so moved-from slots do not retain references.
+func clearTail[T any](buf []T, n int) {
+	var zero T
+	for i := n; i < len(buf); i++ {
+		buf[i] = zero
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// FIFO must behave like a plain queue through arbitrary push/pop
+// interleavings, including the compaction path that reuses the consumed
+// prefix of the backing array.
+func TestFIFOOrder(t *testing.T) {
+	var f FIFO[int]
+	nextPush, nextPop := 0, 0
+	// A skewed interleaving that repeatedly wraps the backing array.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			f.Push(nextPush)
+			nextPush++
+		}
+		for i := 0; i < 2+round%4 && f.Len() > 0; i++ {
+			if got := f.Pop(); got != nextPop {
+				t.Fatalf("popped %d, want %d", got, nextPop)
+			}
+			nextPop++
+		}
+	}
+	for f.Len() > 0 {
+		if got := f.Pop(); got != nextPop {
+			t.Fatalf("drain popped %d, want %d", got, nextPop)
+		}
+		nextPop++
+	}
+	if nextPop != nextPush {
+		t.Fatalf("popped %d of %d pushed", nextPop, nextPush)
+	}
+}
+
+func TestFIFOFrontAtPopBack(t *testing.T) {
+	var f FIFO[string]
+	f.Push("a")
+	f.Push("b")
+	f.Push("c")
+	if *f.Front() != "a" || *f.At(1) != "b" {
+		t.Fatal("Front/At disagree with push order")
+	}
+	if got := f.PopBack(); got != "c" {
+		t.Fatalf("PopBack = %q, want c", got)
+	}
+	if got := f.Pop(); got != "a" {
+		t.Fatalf("Pop = %q, want a", got)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+}
+
+// A queue cycling at its high-water mark must stop allocating: pops advance
+// the head, pushes compact the consumed prefix instead of growing.
+func TestFIFOSteadyStateZeroAlloc(t *testing.T) {
+	var f FIFO[int]
+	for i := 0; i < 64; i++ {
+		f.Push(i)
+	}
+	for f.Len() > 32 {
+		f.Pop()
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		f.Push(1)
+		f.Pop()
+	}); avg != 0 {
+		t.Fatalf("steady-state push/pop allocated %.2f times, want 0", avg)
+	}
+}

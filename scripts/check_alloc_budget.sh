@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Allocation-regression gate.
+#
+# The frontend's steady-state decode path is designed to be allocation-free:
+# task records live in slot arenas, version records in open-addressed
+# slabs, protocol messages and dispatch records in free-list pools (see
+# docs/ARCHITECTURE.md "Memory layout"). What remains in the measured
+# allocs-per-simulated-task figure is per-run machine construction spread
+# over the workload, so the number is small and stable — and any structural
+# regression (a map reintroduced on a hot path, a pooled object leaking to
+# the heap) moves it sharply.
+#
+# This script fails if the freshly measured `frontend_decode` allocs/task
+# in BENCH_engine.json exceeds the ceiling committed in
+# docs/goldens/alloc_budget.txt. Raise the ceiling only with a justified,
+# reviewed change (and say so in the PR description).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench=${1:-BENCH_engine.json}
+budget_file=docs/goldens/alloc_budget.txt
+
+ceiling=$(grep -v '^#' "$budget_file" | head -1 | tr -d '[:space:]')
+actual=$(python3 - "$bench" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+print(data["current"]["results"]["frontend_decode"]["allocs_per_task"])
+EOF
+)
+
+echo "frontend_decode: ${actual} allocs/task (ceiling ${ceiling})"
+python3 - "$actual" "$ceiling" <<'EOF'
+import sys
+actual, ceiling = float(sys.argv[1]), float(sys.argv[2])
+if actual > ceiling:
+    print(f"FAIL: frontend_decode allocates {actual} times per simulated task, "
+          f"over the committed ceiling of {ceiling}.", file=sys.stderr)
+    print("If this increase is intentional, raise docs/goldens/alloc_budget.txt "
+          "and justify it in the PR description.", file=sys.stderr)
+    sys.exit(1)
+EOF
+echo "allocation budget OK"

@@ -134,8 +134,12 @@ func buildMachine(cfg Config) *machine {
 	eng := sim.NewEngine()
 	net := noc.NewNetwork(eng, cfg.CoresPerRing, noc.DefaultConfig())
 	m := &machine{eng: eng, net: net}
+	// One shared diagnostic name: cores are identified by NodeID, and a
+	// formatted name per core is a measurable slice of construction cost
+	// at 256 cores per sweep point.
+	m.coreNodes = make([]noc.NodeID, 0, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		m.coreNodes = append(m.coreNodes, net.AddCore(fmt.Sprintf("core%d", i)))
+		m.coreNodes = append(m.coreNodes, net.AddCore("core"))
 	}
 	// The task-generating thread runs on its own core.
 	m.genNode = net.AddCore("generator")
