@@ -9,6 +9,13 @@
 //	tssd                                  # listen on :7077
 //	tssd -addr :8080 -workers 8           # custom port, 8 concurrent jobs
 //	tssd -cache-entries 4096 -cache-mb 256
+//	tssd -cache-dir /var/lib/tssd -cache-disk-mb 4096   # persistent results
+//
+// With -cache-dir the daemon keeps a persistent layer under the in-memory
+// LRU: finished results are written as self-verifying envelope files and
+// misses read through the directory, so the content-addressed result space
+// survives restarts. Corrupted or foreign-version files are treated as
+// misses and removed, never served.
 //
 // Fleet mode (multi-node):
 //
@@ -18,8 +25,10 @@
 //
 // A dispatcher exposes the same job API as a plain daemon but fans jobs out
 // to joined workers, coalesces identical jobs across nodes, shares results
-// through its own cache, and retries on another worker when one dies
-// mid-job. A worker is just a plain daemon that registers itself; -advertise
+// through its own cache (give it -cache-dir and the whole fleet's results
+// persist), and retries on another worker when one dies mid-job. Sweep jobs
+// are sharded: the dispatcher decomposes the sweep into per-point sim jobs,
+// fans the points across the fleet, and reassembles a byte-identical result. A worker is just a plain daemon that registers itself; -advertise
 // is the URL at which the dispatcher can reach it (default derived from
 // -addr with a localhost host).
 //
@@ -59,6 +68,8 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
 		cacheMB      = flag.Int("cache-mb", 64, "result cache size bound (MiB)")
 		maxJobs      = flag.Int("max-jobs", 4096, "job records retained; oldest finished jobs are evicted beyond this")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result store (empty = in-memory cache only)")
+		cacheDiskMB  = flag.Int("cache-disk-mb", 1024, "persistent store size bound (MiB); least-recently-used results are evicted beyond it")
 		fleetMode    = flag.Bool("fleet", false, "run as a fleet dispatcher: jobs are fanned out to workers that register via -join (or POST /v1/workers)")
 		join         = flag.String("join", "", "dispatcher base URL to join as a fleet worker")
 		advertise    = flag.String("advertise", "", "base URL at which the dispatcher can reach this worker (default derived from -addr)")
@@ -74,14 +85,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   int64(*cacheMB) << 20,
-		MaxJobs:      *maxJobs,
-		Fleet:        *fleetMode,
+	srv, err := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     int64(*cacheMB) << 20,
+		MaxJobs:        *maxJobs,
+		Fleet:          *fleetMode,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: int64(*cacheDiskMB) << 20,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tssd: %v\n", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// Root context ends on SIGINT/SIGTERM; it also aborts a pending -join

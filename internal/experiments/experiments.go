@@ -47,6 +47,27 @@ type Options struct {
 	// constituent simulations (running points finish; unstarted points
 	// fail with the context's error).
 	Context context.Context
+	// RunSim, when non-nil, executes each constituent simulation instead
+	// of the in-process engine — the hook the tssd service uses to resolve
+	// sweep points through its content-addressed result store and fleet.
+	// The contract is strict: the returned Result must be exactly what the
+	// in-process engine would produce for the same SimJob (determinism
+	// makes that checkable), or the sweep's byte-identity guarantee breaks.
+	RunSim func(SimJob) (*tss.Result, error)
+}
+
+// SimJob is one constituent simulation of a sweep: a deterministic workload
+// generation recipe plus the machine configuration to run it on. It is the
+// decomposition unit handed to Options.RunSim — everything needed to
+// regenerate and execute the point anywhere.
+type SimJob struct {
+	// Workload generates the task stream from (Tasks, Seed).
+	Workload workloads.Info
+	// Tasks is the generation budget; Seed the generator seed.
+	Tasks int
+	Seed  int64
+	// Config is the simulated machine.
+	Config tss.Config
 }
 
 // DefaultOptions returns full-scale options.
@@ -145,16 +166,27 @@ func runHW(b *workloads.Build, cfg tss.Config) (*tss.Result, error) {
 	return tss.RunTasks(b.Tasks, cfg)
 }
 
-// benchRun is one (workload, config) simulation job: it generates its own
-// workload instance — so concurrent jobs share nothing — and returns the
-// result together with the stream's sequential lower bound.
-func benchRun(wl workloads.Info, budget int, seed int64, cfg tss.Config) (*tss.Result, float64, error) {
-	b := wl.Gen(budget, seed)
-	res, err := tss.RunTasks(b.Tasks, cfg)
+// benchRun is one (workload, config) simulation job: it executes the point
+// (locally, or through Options.RunSim when a delegate is installed) and
+// returns the result together with the speedup over the stream's sequential
+// lower bound. The speedup is derived from Result.TotalWorkCycles — for a
+// complete run this equals tss.SequentialCycles of the generated stream, so
+// the figure is computable from the result alone and both execution paths
+// produce bit-identical numbers.
+func benchRun(o Options, wl workloads.Info, budget int, seed int64, cfg tss.Config) (*tss.Result, float64, error) {
+	job := SimJob{Workload: wl, Tasks: budget, Seed: seed, Config: cfg}
+	var res *tss.Result
+	var err error
+	if o.RunSim != nil {
+		res, err = o.RunSim(job)
+	} else {
+		b := wl.Gen(budget, seed)
+		res, err = tss.RunTasks(b.Tasks, cfg)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
-	sp := float64(tss.SequentialCycles(b.Tasks)) / float64(res.Cycles)
+	sp := float64(res.TotalWorkCycles) / float64(res.Cycles)
 	return res, sp, nil
 }
 
@@ -231,7 +263,7 @@ func decodeRates(names []workloads.Info, o Options) ([][][]float64, error) {
 		rest := i % (len(trsAxis) * len(ortAxis))
 		ti := rest / len(ortAxis)
 		oi := rest % len(ortAxis)
-		res, _, err := benchRun(names[b], o.budget(4000), o.Seed,
+		res, _, err := benchRun(o, names[b], o.budget(4000), o.Seed,
 			decodeSweepConfig(o.cores(), trsAxis[ti], ortAxis[oi]))
 		if err != nil {
 			return fmt.Errorf("%s at %d TRS / %d ORT: %w",
@@ -321,7 +353,7 @@ func capacitySweep(w io.Writer, o Options, id, title string, axis []uint64,
 		ci, bi := i/len(all), i%len(all)
 		cfg := baseConfig(o.cores())
 		configure(&cfg, axis[ci])
-		_, sp, err := benchRun(all[bi], o.budget(fullBudget(all[bi].Name)), o.Seed, cfg)
+		_, sp, err := benchRun(o, all[bi], o.budget(fullBudget(all[bi].Name)), o.Seed, cfg)
 		if err != nil {
 			return fmt.Errorf("%s at %s: %w", all[bi].Name, fmtBytes(axis[ci]), err)
 		}
@@ -417,7 +449,7 @@ func Fig16(w io.Writer, o Options) error {
 		if kinds[ki] == "sw" {
 			cfg.Runtime = tss.SoftwareRuntime
 		}
-		_, sp, err := benchRun(all[bi], o.budget(fullBudget(all[bi].Name)), o.Seed, cfg)
+		_, sp, err := benchRun(o, all[bi], o.budget(fullBudget(all[bi].Name)), o.Seed, cfg)
 		if err != nil {
 			return fmt.Errorf("%s %s %dp: %w", all[bi].Name, kinds[ki], coreAxis[ci], err)
 		}
@@ -488,7 +520,7 @@ func Headline(w io.Writer, o Options) error {
 	}
 	rows := make([]headlineRow, len(all))
 	err := o.pool().Do(len(all), func(i int) error {
-		res, sp, err := benchRun(all[i], o.budget(fullBudget(all[i].Name)), o.Seed, cfg)
+		res, sp, err := benchRun(o, all[i], o.budget(fullBudget(all[i].Name)), o.Seed, cfg)
 		if err != nil {
 			return err
 		}
@@ -532,7 +564,7 @@ func Chains(w io.Writer, o Options) error {
 	}
 	rows := make([]chainRow, len(all))
 	err := o.pool().Do(len(all), func(i int) error {
-		res, _, err := benchRun(all[i], o.budget(fullBudget(all[i].Name))/2, o.Seed, cfg)
+		res, _, err := benchRun(o, all[i], o.budget(fullBudget(all[i].Name))/2, o.Seed, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"tasksuperscalar/tss"
+)
+
+// The RunSim delegation contract: a hook that executes each SimJob with the
+// in-process engine must leave the rendered figure byte-identical to the
+// undelegated run, and the hook must see exactly the sweep's point grid —
+// this is what lets tssd resolve points through its result store without
+// changing what a sweep means.
+func TestRunSimHookIsByteIdentical(t *testing.T) {
+	opts := func() Options { return Options{Quick: true, Seed: 42, Workers: 2} }
+
+	var direct bytes.Buffer
+	if err := Fig12(&direct, opts()); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var jobs []SimJob
+	o := opts()
+	o.RunSim = func(job SimJob) (*tss.Result, error) {
+		mu.Lock()
+		jobs = append(jobs, job)
+		mu.Unlock()
+		b := job.Workload.Gen(job.Tasks, job.Seed)
+		return tss.RunTasks(b.Tasks, job.Config)
+	}
+	var hooked bytes.Buffer
+	if err := Fig12(&hooked, o); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(hooked.Bytes(), direct.Bytes()) {
+		t.Fatalf("hooked sweep diverged from in-process run:\n got: %s\nwant: %s", &hooked, &direct)
+	}
+
+	// Quick fig12 is 2 benchmarks x 4 TRS points x 2 ORT points.
+	if len(jobs) != 16 {
+		t.Fatalf("hook saw %d jobs, want 16", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, job := range jobs {
+		if job.Tasks != 600 || job.Seed != 42 {
+			t.Fatalf("job carries budget %d seed %d, want 600/42", job.Tasks, job.Seed)
+		}
+		id := job.Workload.Name + "|" + job.Config.CanonicalString()
+		if seen[id] {
+			t.Fatalf("duplicate point handed to the hook: %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// A hook failure aborts the sweep and surfaces the hook's error — a sweep
+// must never render a figure with silently missing points.
+func TestRunSimHookErrorAborts(t *testing.T) {
+	boom := errors.New("store unreachable")
+	var calls int
+	var mu sync.Mutex
+	o := Options{Quick: true, Seed: 42, Workers: 1}
+	o.RunSim = func(job SimJob) (*tss.Result, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 3 {
+			return nil, boom
+		}
+		b := job.Workload.Gen(job.Tasks, job.Seed)
+		return tss.RunTasks(b.Tasks, job.Config)
+	}
+	var out bytes.Buffer
+	err := Fig12(&out, o)
+	if err == nil || !strings.Contains(err.Error(), boom.Error()) {
+		t.Fatalf("hook error not propagated: %v", err)
+	}
+}
+
+// Table I measures the workload generators and runs no simulations, so it
+// must never consult the hook — the daemon relies on this when it shards
+// only the sweeps that actually simulate.
+func TestRunSimHookUnusedByTable1(t *testing.T) {
+	o := Options{Quick: true, Seed: 42, Workers: 2}
+	o.RunSim = func(SimJob) (*tss.Result, error) {
+		return nil, errors.New("table1 must not simulate")
+	}
+	var out bytes.Buffer
+	if err := Table1(&out, o); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,10 +100,14 @@ type CacheStats struct {
 	MaxEntries int   `json:"max_entries"`
 	MaxBytes   int64 `json:"max_bytes"`
 	// Hits, Misses, and Evictions count Get outcomes and LRU evictions
-	// since the daemon started.
+	// since the daemon started. These are store-level counters: sweep
+	// sharding probes the cache once per point, so they run ahead of the
+	// job-level CacheHits on ServerStats.
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Disk reports the persistent layer (nil without -cache-dir).
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // Stats snapshots the cache counters.

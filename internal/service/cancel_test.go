@@ -198,12 +198,12 @@ func TestCancelLifecycle(t *testing.T) {
 			// usable afterwards.
 			assertSlotFree(t, cl, int64(1000*(i+1))+500)
 			// And the counters must conserve: every settled submission is
-			// exactly one of completed, failed, cancelled, coalesced, or a
-			// cache hit.
+			// exactly one of completed, failed, cancelled, coalesced, a
+			// cache hit, or a disk hit.
 			st := srv.Stats()
-			if got := st.Completed + st.Failed + st.Cancelled + st.Coalesced + st.Cache.Hits; got != st.Submitted {
-				t.Fatalf("conservation violated: completed(%d)+failed(%d)+cancelled(%d)+coalesced(%d)+hits(%d) = %d, want %d submissions",
-					st.Completed, st.Failed, st.Cancelled, st.Coalesced, st.Cache.Hits, got, st.Submitted)
+			if got := st.Completed + st.Failed + st.Cancelled + st.Coalesced + st.CacheHits + st.DiskHits; got != st.Submitted {
+				t.Fatalf("conservation violated: completed(%d)+failed(%d)+cancelled(%d)+coalesced(%d)+cache(%d)+disk(%d) = %d, want %d submissions",
+					st.Completed, st.Failed, st.Cancelled, st.Coalesced, st.CacheHits, st.DiskHits, got, st.Submitted)
 			}
 			if st.Inflight != 0 {
 				t.Fatalf("%d executions still inflight after drain", st.Inflight)

@@ -96,10 +96,13 @@ func (f *fleet) tryAcquire() bool {
 	}
 }
 
-// dispatch runs one primary job to completion on the fleet: pick a worker,
-// relay, and — when a worker dies mid-job — retry on another node until the
-// job finishes, is cancelled, or no healthy worker remains. Exactly-one
-// terminal transition is guaranteed by finishJob.
+// dispatch runs one primary job to completion on the fleet. Sim jobs go
+// through the remote attempt loop (execute); sweep jobs are sharded into
+// per-point sim jobs right here on the dispatcher, each point itself
+// dispatched through execute — so the whole fleet works one sweep in
+// parallel. Either way the persistent store is consulted first (the
+// dispatcher-side lookup that makes the result space fleet-wide), and
+// exactly-one terminal transition is guaranteed by finishJob.
 func (f *fleet) dispatch(j *job) {
 	defer func() {
 		<-f.slots
@@ -108,38 +111,54 @@ func (f *fleet) dispatch(j *job) {
 	e := j.exec
 	// The job is "running" from the fleet's perspective the moment a
 	// dispatch goroutine owns it; if a cancel won the race this transition
-	// fails and the context check below ends the dispatch immediately.
+	// fails and the context check inside execute ends the dispatch
+	// immediately.
 	e.transition(StatusQueued, StatusRunning)
 
+	if result, ok := f.s.diskGet(j.key); ok {
+		f.s.finishJobFromDisk(j, result)
+		return
+	}
+	if j.spec.Kind == KindSweep {
+		f.s.runShardedSweep(j)
+		return
+	}
+	result, err := f.execute(j)
+	f.s.finishJob(j, result, err)
+}
+
+// execute runs one job's remote attempt loop: pick a worker, relay, and —
+// when a worker dies mid-job — retry on another node until the job finishes,
+// is cancelled, or no healthy worker remains. It returns the result instead
+// of settling the job, so the primary dispatch path and the sweep-point
+// resolver share it. Points do not hold dispatch slots: a sweep occupies one
+// slot while its points fan out bounded by the sweep's own pool width.
+func (f *fleet) execute(j *job) ([]byte, error) {
+	e := j.exec
 	var excluded map[string]bool
 	var lastErr error
 	for {
 		if err := e.ctx.Err(); err != nil {
-			f.s.finishJob(j, nil, fmt.Errorf("dispatch cancelled: %w", err))
-			return
+			return nil, fmt.Errorf("dispatch cancelled: %w", err)
 		}
 		w := f.pick(excluded)
 		if w == nil {
 			if lastErr == nil {
 				lastErr = errors.New("no healthy workers registered")
 			}
-			f.s.finishJob(j, nil, fmt.Errorf("fleet: %w", lastErr))
-			return
+			return nil, fmt.Errorf("fleet: %w", lastErr)
 		}
 		result, err := f.runOn(w, j)
 		var jobErr remoteJobError
 		switch {
 		case err == nil:
-			f.s.finishJob(j, result, nil)
-			return
+			return result, nil
 		case e.ctx.Err() != nil:
-			// finishJob classifies this as cancelled via the context.
-			f.s.finishJob(j, nil, err)
-			return
+			// The caller classifies this as cancelled via the context.
+			return nil, err
 		case errors.As(err, &jobErr):
 			// Deterministic failure: retrying elsewhere reproduces it.
-			f.s.finishJob(j, nil, err)
-			return
+			return nil, err
 		default:
 			// Worker-level failure (connection refused, SSE cut mid-job,
 			// 5xx): mark the node unhealthy, exclude it from this job's
@@ -156,6 +175,29 @@ func (f *fleet) dispatch(j *job) {
 			f.s.appendLog(e, fmt.Sprintf("[dispatcher] worker %s failed (%v); retrying on another node", w.id, err))
 		}
 	}
+}
+
+// shardWidth picks the point fan-out for a sharded sweep: wide enough to
+// keep every healthy worker busy (2x, so relay latency overlaps simulation)
+// but bounded. SweepSpec.Workers is excluded from the sweep key and the
+// sweep engine is width-independent, so the dispatcher is free to choose.
+func (f *fleet) shardWidth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if healthy, _ := w.state(); healthy {
+			n++
+		}
+	}
+	width := 2 * n
+	if width < 1 {
+		width = 1
+	}
+	if width > 64 {
+		width = 64
+	}
+	return width
 }
 
 // runOn executes the job on one worker: submit, relay the SSE stream into

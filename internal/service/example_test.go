@@ -12,7 +12,10 @@ import (
 // job's event stream, and shows that a repeated identical submission is
 // answered from the content-addressed result cache without re-simulating.
 func ExampleClient() {
-	srv := service.New(service.Config{Workers: 2})
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
@@ -31,7 +34,7 @@ func ExampleClient() {
 	}
 
 	st, _ := cl.Submit(ctx, spec)
-	st, err := cl.Wait(ctx, st.ID, nil)
+	st, err = cl.Wait(ctx, st.ID, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -25,13 +25,19 @@ func (w *fleetWorker) kill() { w.hs.CloseClientConnections() }
 // startFleet spins up a dispatcher with n registered in-process workers.
 func startFleet(t *testing.T, n int, workerCfg Config) (*Server, *Client, []*fleetWorker) {
 	t.Helper()
-	disp := New(Config{Fleet: true, QueueDepth: 256})
+	disp, err := New(Config{Fleet: true, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dhs := httptest.NewServer(disp.Handler())
 	dcl := NewClient(dhs.URL)
 
 	workers := make([]*fleetWorker, n)
 	for i := range workers {
-		wsrv := New(workerCfg)
+		wsrv, err := New(workerCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		whs := httptest.NewServer(wsrv.Handler())
 		workers[i] = &fleetWorker{srv: wsrv, hs: whs}
 		if _, err := dcl.JoinWorker(context.Background(), whs.URL); err != nil {
@@ -249,7 +255,10 @@ func TestFleetCancelPropagatesToWorker(t *testing.T) {
 // circular wait (each side would otherwise coalesce the job with itself).
 func TestFleetDispatchCycleFailsFast(t *testing.T) {
 	mk := func() (*Server, *httptest.Server, *Client) {
-		d := New(Config{Fleet: true})
+		d, err := New(Config{Fleet: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		hs := httptest.NewServer(d.Handler())
 		return d, hs, NewClient(hs.URL)
 	}
@@ -279,7 +288,10 @@ func TestFleetDispatchCycleFailsFast(t *testing.T) {
 
 // A dispatcher with no live workers fails the job rather than hanging.
 func TestFleetNoWorkersFailsFast(t *testing.T) {
-	disp := New(Config{Fleet: true})
+	disp, err := New(Config{Fleet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dhs := httptest.NewServer(disp.Handler())
 	t.Cleanup(func() { dhs.Close(); disp.Close() })
 	cl := NewClient(dhs.URL)
@@ -371,32 +383,40 @@ func TestFleetConcurrentClients(t *testing.T) {
 		t.Fatalf("saw %d distinct keys, want %d", len(byKey), len(specs))
 	}
 
-	// Conservation at the dispatcher…
+	// Conservation at the dispatcher… (job-level CacheHits/DiskHits, not
+	// store-level Cache.Hits: sweep sharding probes the store per point)
 	ds := disp.Stats()
 	if ds.Completed != uint64(len(specs)) {
 		t.Fatalf("dispatched %d executions for %d distinct specs", ds.Completed, len(specs))
 	}
-	if got := ds.Completed + ds.Coalesced + ds.Cache.Hits; got != clients {
-		t.Fatalf("completed(%d) + coalesced(%d) + hits(%d) = %d, want %d submissions",
-			ds.Completed, ds.Coalesced, ds.Cache.Hits, got, clients)
+	if got := ds.Completed + ds.Coalesced + ds.CacheHits + ds.DiskHits; got != clients {
+		t.Fatalf("completed(%d) + coalesced(%d) + cache(%d) + disk(%d) = %d, want %d submissions",
+			ds.Completed, ds.Coalesced, ds.CacheHits, ds.DiskHits, got, clients)
 	}
 	if ds.Failed != 0 || ds.Cancelled != 0 || ds.Inflight != 0 {
 		t.Fatalf("failed=%d cancelled=%d inflight=%d after drain", ds.Failed, ds.Cancelled, ds.Inflight)
 	}
-	// …extends across the nodes: with no failures, every dispatcher
-	// execution ran on exactly one worker, and nothing else ran anywhere.
+	// …and extends across the nodes. Sweeps are sharded on the dispatcher
+	// (table1 runs no constituent simulations, so it contributes no
+	// points); what reaches the workers is the sim jobs plus every
+	// fleet-executed sweep point, each settling on its worker as exactly
+	// one run, coalesce, or cache hit.
+	const simSpecs = 2
+	if ds.Shard.Points != ds.Shard.MemHits+ds.Shard.DiskHits+ds.Shard.Coalesced+ds.Shard.Simulated+ds.Shard.Inline+ds.Shard.Failed {
+		t.Fatalf("shard conservation violated: %+v", ds.Shard)
+	}
 	var workerRuns, workerHitsCoalesces uint64
 	for _, w := range workers {
 		ws := w.srv.Stats()
 		workerRuns += ws.Completed
-		workerHitsCoalesces += ws.Cache.Hits + ws.Coalesced
+		workerHitsCoalesces += ws.CacheHits + ws.DiskHits + ws.Coalesced
 		if ws.Failed != 0 || ws.Inflight != 0 {
 			t.Fatalf("worker settled dirty: %+v", ws)
 		}
 	}
-	if workerRuns+workerHitsCoalesces != ds.Completed {
-		t.Fatalf("workers ran %d + answered %d from cache/coalesce, dispatcher completed %d",
-			workerRuns, workerHitsCoalesces, ds.Completed)
+	if workerRuns+workerHitsCoalesces != simSpecs+ds.Shard.Simulated {
+		t.Fatalf("workers ran %d + answered %d from cache/coalesce, dispatcher sent %d sims + %d points",
+			workerRuns, workerHitsCoalesces, simSpecs, ds.Shard.Simulated)
 	}
 	if ds.Fleet.Retries != 0 {
 		t.Fatalf("%d unexpected retries with healthy workers", ds.Fleet.Retries)

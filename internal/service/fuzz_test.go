@@ -133,6 +133,9 @@ func FuzzJobSpecKey(f *testing.F) {
 		mutate("ort", func(s *JobSpec) { s.Sim.Machine.ORT++ })
 		mutate("trskb", func(s *JobSpec) { s.Sim.Machine.TRSKB++ })
 		mutate("ortkb", func(s *JobSpec) { s.Sim.Machine.ORTKB++ })
+		// OVTKB is normalized to ORTKB when omitted, so nudge it off the
+		// whole normalized pair to prove it is keyed independently.
+		mutate("ovtkb", func(s *JobSpec) { s.Sim.Machine.OVTKB = s.Sim.Machine.ORTKB + 1 })
 		mutate("memory", func(s *JobSpec) { s.Sim.Machine.Memory = !s.Sim.Machine.Memory })
 		mutate("runtime", func(s *JobSpec) {
 			if s.Sim.Machine.Runtime == "hardware" {

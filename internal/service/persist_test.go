@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// restartable wraps one daemon generation whose lifetime is controlled by
+// the test rather than t.Cleanup — the restart tests kill and relaunch
+// whole generations mid-test.
+type restartable struct {
+	srv  *Server
+	hs   *httptest.Server
+	once sync.Once
+}
+
+func (r *restartable) stop() {
+	r.once.Do(func() {
+		r.hs.Close()
+		r.srv.Close()
+	})
+}
+
+// startGen launches one daemon generation over the given persistent cache
+// directory.
+func startGen(t *testing.T, cfg Config) (*restartable, *Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &restartable{srv: srv, hs: httptest.NewServer(srv.Handler())}
+	t.Cleanup(g.stop)
+	return g, NewClient(g.hs.URL)
+}
+
+// startGenFleet launches a dispatcher generation (persistent cache attached
+// dispatcher-side) with n fresh diskless workers — the fleet shares the
+// result space purely through dispatcher-side lookup.
+func startGenFleet(t *testing.T, dir string, n int) (*restartable, *Client, []*restartable) {
+	t.Helper()
+	disp, cl := startGen(t, Config{Fleet: true, QueueDepth: 256, CacheDir: dir, CacheDiskBytes: 64 << 20})
+	workers := make([]*restartable, n)
+	for i := range workers {
+		w, _ := startGen(t, Config{Workers: 2})
+		workers[i] = w
+		if _, err := cl.JoinWorker(context.Background(), w.hs.URL); err != nil {
+			t.Fatalf("registering worker %d: %v", i, err)
+		}
+	}
+	return disp, cl, workers
+}
+
+// submitSweepAndWait pushes the fig12 sweep through one generation and
+// returns its result bytes and terminal status.
+func submitSweepAndWait(t *testing.T, cl *Client) ([]byte, *SubmitStatus) {
+	t.Helper()
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, fig12Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached {
+		if st, err = cl.Wait(ctx, st.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Status != StatusDone {
+		t.Fatalf("sweep ended %s: %s", st.Status, st.Error)
+	}
+	body, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, st
+}
+
+// sweepEnvelopePath locates the persisted envelope of the whole-sweep
+// result inside a cache directory.
+func sweepEnvelopePath(t *testing.T, dir string) string {
+	t.Helper()
+	spec := fig12Spec()
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, spec.Key())
+}
+
+// Killing the daemon mid-sweep must not lose the points it already settled:
+// a restarted daemon on the same -cache-dir recovers them from disk, runs
+// only the remainder, and still produces bytes identical to an
+// uninterrupted run.
+func TestRestartRecoversMidSweepProgress(t *testing.T) {
+	want := directBytes(t, fig12Spec())
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Generation A: start the sweep, let a few points settle, then cancel
+	// and tear the daemon down — the moral equivalent of a crash part-way
+	// through, except we can still read its counters.
+	genA, clA := startGen(t, Config{Workers: 2, CacheDir: dir, CacheDiskBytes: 64 << 20})
+	st, err := clA.Submit(ctx, fig12Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, clA, st.ID, func(s *SubmitStatus) bool {
+		return terminalStatus(s.Status) || genA.srv.Stats().Shard.Simulated >= 4
+	}, "mid-sweep progress")
+	if _, err := clA.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, clA, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	persisted := genA.srv.Stats().Shard.Simulated // every settled point was disk-written
+	genA.stop()
+	if persisted < 4 {
+		t.Fatalf("only %d points settled before shutdown — cancel landed too early", persisted)
+	}
+	if fin.Status == StatusDone {
+		// The cancel lost the race and the sweep completed: its own
+		// envelope is on disk and would satisfy the resubmission wholesale.
+		// Drop it so the next generation still exercises per-point
+		// recovery.
+		if err := os.Remove(sweepEnvelopePath(t, dir)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Generation B: a fresh daemon (empty memory cache) on the same
+	// directory. The re-submitted sweep must pick up the crashed run's
+	// points from disk and simulate only the rest.
+	genB, clB := startGen(t, Config{Workers: 2, CacheDir: dir, CacheDiskBytes: 64 << 20})
+	got, _ := submitSweepAndWait(t, clB)
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered sweep differs from an uninterrupted run")
+	}
+	sh := genB.srv.Stats().Shard
+	shardConserved(t, sh)
+	if sh.Points != fig12Points {
+		t.Fatalf("recovery sweep enumerated %d points, want %d", sh.Points, fig12Points)
+	}
+	if sh.DiskHits < persisted {
+		t.Fatalf("only %d disk hits for %d points persisted before the crash", sh.DiskHits, persisted)
+	}
+	if sh.DiskHits+sh.Simulated != fig12Points {
+		t.Fatalf("recovery mixed outcomes beyond disk+simulate: %+v", sh)
+	}
+	if ds := genB.srv.Stats().Cache.Disk; ds == nil || ds.Hits == 0 {
+		t.Fatal("/stats does not surface the disk layer's hits")
+	}
+}
+
+// The fleet acceptance bar for persistence: a sweep re-submitted after a
+// FULL fleet restart — new dispatcher process, all-new workers — returns a
+// byte-identical result with zero point re-simulations, first from the
+// whole-sweep envelope and, once that is deleted, reassembled purely from
+// the per-point envelopes.
+func TestFullFleetRestartServesSweepFromDisk(t *testing.T) {
+	want := directBytes(t, fig12Spec())
+	dir := t.TempDir()
+
+	// Generation 1 computes the sweep across the fleet and persists it.
+	disp1, cl1, workers1 := startGenFleet(t, dir, 3)
+	got, _ := submitSweepAndWait(t, cl1)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet sweep differs from monolithic run")
+	}
+	if sh := disp1.srv.Stats().Shard; sh.Simulated == 0 {
+		t.Fatalf("generation 1 simulated nothing: %+v", sh)
+	}
+	disp1.stop()
+	for _, w := range workers1 {
+		w.stop()
+	}
+
+	// Generation 2: everything is new except the cache directory. The
+	// resubmission must be answered by the persisted sweep envelope —
+	// no sharding, no worker traffic, no simulation.
+	disp2, cl2, workers2 := startGenFleet(t, dir, 3)
+	got2, st2 := submitSweepAndWait(t, cl2)
+	if !bytes.Equal(got2, want) {
+		t.Fatal("post-restart sweep differs")
+	}
+	if !st2.Cached {
+		t.Fatal("disk-served sweep not reported cached")
+	}
+	ds2 := disp2.srv.Stats()
+	if ds2.DiskHits != 1 || ds2.Completed != 0 || ds2.Shard.Points != 0 {
+		t.Fatalf("restart resubmission was not a pure disk hit: diskHits=%d completed=%d shardPoints=%d",
+			ds2.DiskHits, ds2.Completed, ds2.Shard.Points)
+	}
+	for i, w := range workers2 {
+		if ws := w.srv.Stats(); ws.Submitted != 0 {
+			t.Fatalf("worker %d received %d jobs during a disk-served resubmission", i, ws.Submitted)
+		}
+	}
+	disp2.stop()
+	for _, w := range workers2 {
+		w.stop()
+	}
+
+	// Generation 3: delete the whole-sweep envelope, keeping only the
+	// per-point ones. The sweep must shard and reassemble byte-identically
+	// from disk alone — still zero simulations, still zero worker traffic.
+	if err := os.Remove(sweepEnvelopePath(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+	disp3, cl3, workers3 := startGenFleet(t, dir, 3)
+	got3, _ := submitSweepAndWait(t, cl3)
+	if !bytes.Equal(got3, want) {
+		t.Fatal("sweep reassembled from point envelopes differs")
+	}
+	ds3 := disp3.srv.Stats()
+	shardConserved(t, ds3.Shard)
+	if ds3.Shard.Points != fig12Points || ds3.Shard.DiskHits != fig12Points || ds3.Shard.Simulated != 0 {
+		t.Fatalf("reassembly was not purely disk-fed: %+v", ds3.Shard)
+	}
+	if ds3.Completed != 1 {
+		t.Fatalf("reassembled sweep completed %d jobs, want 1", ds3.Completed)
+	}
+	for i, w := range workers3 {
+		if ws := w.srv.Stats(); ws.Submitted != 0 {
+			t.Fatalf("worker %d received %d jobs during point-envelope reassembly", i, ws.Submitted)
+		}
+	}
+}

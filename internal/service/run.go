@@ -161,6 +161,15 @@ func (w *lineWriter) Write(p []byte) (int, error) {
 // the experiment prints it. Cancelling ctx abandons the sweep between its
 // constituent simulations (point granularity).
 func runSweep(ctx context.Context, spec *SweepSpec, logLine func(string)) ([]byte, error) {
+	return runSweepWith(ctx, spec, logLine, nil)
+}
+
+// runSweepWith is runSweep with an options hook: tune (may be nil) edits the
+// experiment options before the run — the seam the daemon uses to install
+// its per-point resolver (Options.RunSim) and widen the pool in fleet mode.
+// Because the sweep engine's output is independent of pool width and RunSim
+// is contractually result-preserving, every tuning yields the same bytes.
+func runSweepWith(ctx context.Context, spec *SweepSpec, logLine func(string), tune func(*experiments.Options)) ([]byte, error) {
 	e, ok := experiments.Get(spec.Experiment)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
@@ -171,7 +180,11 @@ func runSweep(ctx context.Context, spec *SweepSpec, logLine func(string)) ([]byt
 	if logLine != nil {
 		w = &lineWriter{buf: &buf, emit: logLine}
 	}
-	if err := e.Run(w, spec.Options(ctx, sink)); err != nil {
+	o := spec.Options(ctx, sink)
+	if tune != nil {
+		tune(&o)
+	}
+	if err := e.Run(w, o); err != nil {
 		return nil, err
 	}
 	out := SweepResult{

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Job statuses, in lifecycle order. A job ends in exactly one of the three
@@ -56,6 +57,14 @@ type Config struct {
 	// is ignored (execution capacity lives on the workers); QueueDepth
 	// bounds the concurrent dispatches.
 	Fleet bool
+	// CacheDir, when set, adds a persistent disk layer under the LRU: every
+	// finished result is written there as a self-verifying envelope and
+	// misses read through it, so the content-addressed result space
+	// survives restarts (see DiskStore). CacheDiskBytes bounds the
+	// directory (default 1 GiB); past it the least-recently-used envelopes
+	// are evicted.
+	CacheDir       string
+	CacheDiskBytes int64
 }
 
 // execution is the shared run state of one content-addressed job. Jobs that
@@ -153,15 +162,22 @@ func (e *execution) snapshot() execSnapshot {
 func (s execSnapshot) terminal() bool { return terminalStatus(s.status) }
 
 // job is one submission: its own identity and spec, sharing an execution
-// with any identical submissions it was coalesced with.
+// with any identical submissions it was coalesced with. Sweep points are
+// also jobs (unregistered internal ones), which is what lets API submissions
+// and sweep shards coalesce onto each other's executions.
 type job struct {
 	id        string
 	spec      JobSpec
 	key       string
 	exec      *execution
-	cached    bool     // answered from the result cache
+	cached    bool     // answered from the in-memory result cache
 	coalesced bool     // attached to an identical in-flight run
 	via       []string // dispatcher chain that routed the job here (fleet)
+
+	// disk records that the result was served from the persistent store
+	// at execution time. Atomic because it is set by the running worker
+	// while status endpoints may already be reading the job.
+	disk atomic.Bool
 }
 
 // Server is the tssd daemon: an http.Handler plus the worker pool and
@@ -170,6 +186,7 @@ type job struct {
 type Server struct {
 	cfg      Config
 	cache    *Cache
+	disk     *DiskStore // non-nil when Config.CacheDir is set
 	mux      *http.ServeMux
 	fleet    *fleet // non-nil in dispatcher mode
 	instance string // unique per-process daemon identity (see handleHealthz)
@@ -187,10 +204,14 @@ type Server struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+	cacheHits uint64 // submissions answered from the in-memory cache
+	diskHits  uint64 // submissions answered from the persistent store
+	shard     ShardStats
 }
 
-// New starts a server: its workers are running on return.
-func New(cfg Config) *Server {
+// New starts a server: its workers are running on return. The only error
+// path is a Config.CacheDir that cannot be opened.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -211,6 +232,13 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		instance: newInstanceID(),
 	}
+	if cfg.CacheDir != "" {
+		var err error
+		s.disk, err = OpenDiskStore(cfg.CacheDir, cfg.CacheDiskBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -225,13 +253,13 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("POST /v1/workers", s.fleet.handleJoin)
 		s.mux.HandleFunc("GET /v1/workers", s.fleet.handleList)
 		s.mux.HandleFunc("DELETE /v1/workers/{id}", s.fleet.handleLeave)
-		return s // execution capacity lives on the workers
+		return s, nil // execution capacity lives on the workers
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -268,6 +296,12 @@ func (s *Server) runJob(j *job) {
 		// the worker.
 		return
 	}
+	// Read through the persistent store before simulating anything: a
+	// result that survived a restart answers the job without a run.
+	if result, ok := s.diskGet(j.key); ok {
+		s.finishJobFromDisk(j, result)
+		return
+	}
 
 	var result []byte
 	var err error
@@ -277,13 +311,25 @@ func (s *Server) runJob(j *job) {
 			e.set(func() { e.done, e.total = done, total })
 		})
 	case KindSweep:
-		result, err = runSweep(e.ctx, j.spec.Sweep, func(line string) {
-			s.appendLog(e, line)
-		})
+		s.runShardedSweep(j)
+		return
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
 	}
 	s.finishJob(j, result, err)
+}
+
+// diskGet reads through the persistent store (a no-op without -cache-dir),
+// promoting hits into the in-memory LRU so repeats stay off the disk.
+func (s *Server) diskGet(key string) ([]byte, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	b, ok := s.disk.Get(key)
+	if ok {
+		s.cache.Put(key, b)
+	}
+	return b, ok
 }
 
 // appendLog appends one log line to an execution, trimming to the retention
@@ -298,15 +344,17 @@ func (s *Server) appendLog(e *execution, line string) {
 	})
 }
 
-// finishJob publishes a primary execution's terminal state exactly once:
-// done with its result on success, cancelled when the execution's context
-// was cancelled, failed otherwise. It stores successful results in the
-// cache, releases the key's inflight slot, updates the counters, and
-// re-checks the registry bound so a burst that finishes after its
-// submissions still converges to MaxJobs. If the execution is already
-// terminal (a cancel flipped it while queued), the call is a no-op, which
-// is what makes status transitions idempotent under every race.
-func (s *Server) finishJob(j *job, result []byte, err error) {
+// settle publishes an execution's terminal state exactly once: done with its
+// result on success, cancelled when the execution's context was cancelled,
+// failed otherwise. It stores successful results in both cache layers (the
+// disk write is skipped when the result just came from there), releases the
+// key's inflight slot, and returns the terminal status it published — or ""
+// when the execution was already terminal (a cancel flipped it while
+// queued), which is what makes status transitions idempotent under every
+// race. Counter updates are the callers' job: API submissions go through
+// finishJob/finishJobFromDisk; internal sweep points call settle directly
+// and account themselves in ShardStats.
+func (s *Server) settle(j *job, result []byte, err error, fromDisk bool) string {
 	e := j.exec
 	status := StatusDone
 	if err != nil {
@@ -320,7 +368,7 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 	e.mu.Lock()
 	if terminalStatus(e.status) {
 		e.mu.Unlock()
-		return
+		return ""
 	}
 	switch status {
 	case StatusDone:
@@ -338,11 +386,27 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 
 	if status == StatusDone {
 		s.cache.Put(j.key, result)
+		if s.disk != nil && !fromDisk {
+			s.disk.Put(j.key, result)
+		}
 	}
 	s.mu.Lock()
 	if p := s.inflight[j.key]; p != nil && p.exec == e {
 		delete(s.inflight, j.key)
 	}
+	s.mu.Unlock()
+	return status
+}
+
+// finishJob settles a primary API job, updates the terminal-state counters,
+// and re-checks the registry bound so a burst that finishes after its
+// submissions still converges to MaxJobs.
+func (s *Server) finishJob(j *job, result []byte, err error) {
+	status := s.settle(j, result, err, false)
+	if status == "" {
+		return
+	}
+	s.mu.Lock()
 	switch status {
 	case StatusDone:
 		s.completed++
@@ -351,6 +415,21 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 	case StatusCancelled:
 		s.cancelled++
 	}
+	s.evictJobsLocked()
+	s.mu.Unlock()
+}
+
+// finishJobFromDisk settles a primary API job whose result was read from the
+// persistent store: the job counts as a disk hit, not a completion, keeping
+// the conservation invariant (every settled submission is exactly one of
+// completed, failed, cancelled, coalesced, cache hit, or disk hit).
+func (s *Server) finishJobFromDisk(j *job, result []byte) {
+	if s.settle(j, result, nil, true) == "" {
+		return
+	}
+	j.disk.Store(true)
+	s.mu.Lock()
+	s.diskHits++
 	s.evictJobsLocked()
 	s.mu.Unlock()
 }
@@ -387,7 +466,7 @@ func (s *Server) statusOf(j *job) SubmitStatus {
 	snap := j.exec.snapshot()
 	st := SubmitStatus{
 		ID: j.id, Kind: j.spec.Kind, Key: j.key,
-		Status: snap.status, Cached: j.cached, Coalesced: j.coalesced,
+		Status: snap.status, Cached: j.cached || j.disk.Load(), Coalesced: j.coalesced,
 		Done: snap.done, Total: snap.total, Error: snap.errMsg,
 	}
 	if snap.status == StatusDone {
@@ -440,10 +519,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.register(j)
 		s.mu.Unlock()
 	} else if result, ok := s.cache.Get(key); ok {
-		// Content-addressed hit: answer without simulating.
+		// Content-addressed hit: answer without simulating. (The
+		// persistent store is deliberately not consulted here — disk I/O
+		// stays off the submit path; a worker checks it at execution
+		// start instead.)
 		j.exec = newExecution(StatusDone)
 		j.exec.result = result
 		j.cached = true
+		s.cacheHits++
 		s.register(j)
 		s.mu.Unlock()
 	} else if s.fleet != nil {
@@ -704,21 +787,52 @@ type ServerStats struct {
 	// Submitted counts every accepted job; Completed/Failed/Cancelled
 	// count finished primary executions by terminal state; Coalesced
 	// counts submissions that attached to an identical in-flight run;
-	// Inflight is the number of distinct executions currently queued or
-	// running. Every settled submission is exactly one of completed,
-	// failed, cancelled, coalesced, or a cache hit — the conservation
-	// invariant the concurrency tests assert.
+	// CacheHits/DiskHits count submissions answered from the in-memory
+	// cache and the persistent store without running; Inflight is the
+	// number of distinct executions currently queued or running. Every
+	// settled submission is exactly one of completed, failed, cancelled,
+	// coalesced, a cache hit, or a disk hit — the conservation invariant
+	// the concurrency tests assert. (CacheHits is job-level: unlike
+	// Cache.Hits it is not inflated by internal per-point lookups.)
 	Submitted uint64 `json:"submitted"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
 	Coalesced uint64 `json:"coalesced"`
+	CacheHits uint64 `json:"cache_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
 	Inflight  int    `json:"inflight"`
+	// Shard reports sweep decomposition: how many constituent points were
+	// resolved, and how (its own conservation invariant; see ShardStats).
+	Shard ShardStats `json:"shard"`
 	// Cache reports the result cache's occupancy and hit/miss/eviction
-	// counters.
+	// counters, including the persistent layer when configured.
 	Cache CacheStats `json:"cache"`
 	// Fleet reports dispatcher-mode state (nil on a plain daemon).
 	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// ShardStats counts sweep-point resolution outcomes. Every point a sharded
+// sweep enumerates settles as exactly one of the outcome counters:
+// Points == MemHits + DiskHits + Coalesced + Simulated + Inline + Failed
+// once all sweeps have drained.
+type ShardStats struct {
+	// Points counts every constituent simulation a sharded sweep asked
+	// the resolver for.
+	Points uint64 `json:"points"`
+	// MemHits/DiskHits count points answered from the in-memory cache and
+	// the persistent store; Coalesced counts points that attached to an
+	// identical in-flight execution (another sweep's point or an API sim
+	// job); Simulated counts points actually executed (locally or on a
+	// fleet worker); Inline counts points whose machine configuration is
+	// not expressible as a sim spec, run inside the sweep without caching;
+	// Failed counts points whose resolution errored.
+	MemHits   uint64 `json:"mem_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Coalesced uint64 `json:"coalesced"`
+	Simulated uint64 `json:"simulated"`
+	Inline    uint64 `json:"inline"`
+	Failed    uint64 `json:"failed"`
 }
 
 // Stats snapshots the daemon counters (also served on /stats).
@@ -732,10 +846,17 @@ func (s *Server) Stats() ServerStats {
 		Failed:     s.failed,
 		Cancelled:  s.cancelled,
 		Coalesced:  s.coalesced,
+		CacheHits:  s.cacheHits,
+		DiskHits:   s.diskHits,
 		Inflight:   len(s.inflight),
+		Shard:      s.shard,
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
+	if s.disk != nil {
+		d := s.disk.Stats()
+		st.Cache.Disk = &d
+	}
 	if s.fleet != nil {
 		fs := s.fleet.stats()
 		st.Fleet = &fs

@@ -17,7 +17,10 @@ import (
 // startDaemon spins up a full tssd over httptest and returns a client for it.
 func startDaemon(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -323,15 +326,16 @@ func TestConcurrentClients(t *testing.T) {
 	}
 
 	// Conservation: every submission was either a fresh execution, a
-	// coalesce onto one, or a cache hit — and only len(specs) executions
-	// ever ran.
+	// coalesce onto one, or a cache/disk hit — and only len(specs)
+	// executions ever ran. (Job-level CacheHits, not store-level
+	// Cache.Hits: sweep sharding probes the store once per point.)
 	st := srv.Stats()
 	if st.Completed != uint64(len(specs)) {
 		t.Fatalf("ran %d executions for %d distinct specs", st.Completed, len(specs))
 	}
-	if got := st.Completed + st.Coalesced + st.Cache.Hits; got != clients {
-		t.Fatalf("executions(%d) + coalesced(%d) + hits(%d) = %d, want %d submissions",
-			st.Completed, st.Coalesced, st.Cache.Hits, got, clients)
+	if got := st.Completed + st.Coalesced + st.CacheHits + st.DiskHits; got != clients {
+		t.Fatalf("executions(%d) + coalesced(%d) + cache(%d) + disk(%d) = %d, want %d submissions",
+			st.Completed, st.Coalesced, st.CacheHits, st.DiskHits, got, clients)
 	}
 	if st.Failed != 0 || st.Inflight != 0 {
 		t.Fatalf("failed=%d inflight=%d after drain", st.Failed, st.Inflight)

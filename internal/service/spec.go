@@ -91,8 +91,13 @@ type MachineSpec struct {
 	ORT int `json:"ort,omitempty"`
 	// TRSKB is the eDRAM per TRS in KB (default 768).
 	TRSKB int `json:"trs_kb,omitempty"`
-	// ORTKB is the eDRAM per ORT and per OVT in KB (default 256).
+	// ORTKB is the eDRAM per ORT in KB (default 256).
 	ORTKB int `json:"ort_kb,omitempty"`
+	// OVTKB is the eDRAM per OVT in KB (default: ORTKB, the paper's
+	// symmetric sizing). Decoupling the two is what lets an ORT-capacity
+	// sweep point (Figure 14 holds OVTs fixed while ORTs scale) be
+	// expressed as a standalone sim spec.
+	OVTKB int `json:"ovt_kb,omitempty"`
 	// Memory enables the coherent memory hierarchy.
 	Memory bool `json:"memory,omitempty"`
 }
@@ -185,6 +190,9 @@ func (s *SimSpec) normalize() error {
 	if m.ORTKB == 0 {
 		m.ORTKB = 256
 	}
+	if m.OVTKB == 0 {
+		m.OVTKB = m.ORTKB
+	}
 	return s.Config().Validate()
 }
 
@@ -224,7 +232,7 @@ func (s *SimSpec) Config() tss.Config {
 	cfg.Frontend.NumORT = s.Machine.ORT
 	cfg.Frontend.TRSBytesEach = uint64(s.Machine.TRSKB) << 10
 	cfg.Frontend.ORTBytesEach = uint64(s.Machine.ORTKB) << 10
-	cfg.Frontend.OVTBytesEach = uint64(s.Machine.ORTKB) << 10
+	cfg.Frontend.OVTBytesEach = uint64(s.Machine.OVTKB) << 10
 	cfg.Memory = s.Machine.Memory
 	cfg.Backend.RecordSchedule = false
 	return cfg

@@ -1,0 +1,314 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"tasksuperscalar/tss"
+)
+
+// testKey derives a well-formed content address from a label, so store tests
+// never collide with each other.
+func testKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func openStore(t *testing.T, dir string, maxBytes int64) *DiskStore {
+	t.Helper()
+	s, err := OpenDiskStore(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The store's core contract: a stored payload is returned verbatim, and —
+// because entries are plain envelope files — it is still returned verbatim by
+// a fresh store opened on the same directory (the restart path).
+func TestDiskStoreRoundTripSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0)
+
+	key := testKey("round-trip")
+	payload := []byte(`{"sim_version":"` + tss.SimVersion + `","cycles":12345}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put(key, payload)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get after put: ok=%v got=%q", ok, got)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Invalid != 0 {
+		t.Fatalf("stats after one miss + one hit: %+v", st)
+	}
+
+	// A fresh store on the same directory serves the same bytes: the
+	// persistent layer is what survives a daemon crash or restart.
+	s2 := openStore(t, dir, 0)
+	got2, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got2, payload) {
+		t.Fatalf("get after reopen: ok=%v got=%q", ok, got2)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopened store indexed %d entries, want 1", st.Entries)
+	}
+}
+
+// Every corruption mode degrades to a miss (and removal of the bad file) —
+// never a wrong payload, never a crash. The key is then re-storable.
+func TestDiskStoreCorruptionIsMiss(t *testing.T) {
+	payload := []byte(`{"sim_version":"` + tss.SimVersion + `","cycles":999}`)
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped payload", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0x40
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped header", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(envelopeMagic)+3] ^= 0x01
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"emptied", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"file removed underneath", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openStore(t, dir, 0)
+			key := testKey("corrupt/" + tc.name)
+			s.Put(key, payload)
+			tc.corrupt(t, filepath.Join(dir, key))
+
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupted entry served: %q", got)
+			}
+			if st := s.Stats(); st.Invalid != 1 || st.Entries != 0 {
+				t.Fatalf("stats after corruption: %+v", st)
+			}
+			if _, err := os.Stat(filepath.Join(dir, key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupted file not removed: %v", err)
+			}
+			// The slot heals: a clean re-put serves again.
+			s.Put(key, payload)
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("re-put after corruption: ok=%v got=%q", ok, got)
+			}
+		})
+	}
+}
+
+// A result written by a different simulator version must never be served —
+// same key space, different semantics.
+func TestDiskStoreRejectsForeignSimVersion(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("foreign-sim")
+	payload := []byte(`{"cycles":1}`)
+
+	// Forge an otherwise-valid envelope claiming a foreign simulator: the
+	// checksum and length are correct, only the version differs.
+	env := encodeEnvelope(key, payload)
+	forged := bytes.Replace(env, []byte(`"sim":"`+tss.SimVersion+`"`), []byte(`"sim":"tss-sim/0"`), 1)
+	if bytes.Equal(env, forged) {
+		t.Fatal("forgery failed to rewrite the sim version")
+	}
+	if err := os.WriteFile(filepath.Join(dir, key), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir, 0)
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("foreign-version envelope served: %q", got)
+	}
+	if st := s.Stats(); st.Invalid != 1 {
+		t.Fatalf("foreign version not counted invalid: %+v", st)
+	}
+}
+
+// The byte budget evicts least-recently-used entries, where recency is
+// refreshed by hits and persisted across a reopen (mtime order).
+func TestDiskStoreEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 1024)
+	envSize := int64(len(encodeEnvelope(testKey("size"), payload)))
+
+	// Budget for exactly two envelopes.
+	s := openStore(t, dir, 2*envSize)
+	a, b, c := testKey("evict/a"), testKey("evict/b"), testKey("evict/c")
+	s.Put(a, payload)
+	s.Put(b, payload)
+	// Touch a so b becomes the LRU entry, then overflow with c.
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	s.Put(c, payload)
+
+	if _, ok := s.Get(b); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+	if _, ok := s.Get(c); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+
+	// Reopening with a smaller budget evicts down to it immediately, oldest
+	// mtime first. (Backdate a's file so the order is unambiguous even on
+	// coarse filesystem clocks.)
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, a), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, envSize)
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopen with 1-envelope budget kept %d entries", st.Entries)
+	}
+	if _, ok := s2.Get(c); !ok {
+		t.Fatal("newest entry c evicted at reopen instead of the backdated one")
+	}
+}
+
+// Files that are not well-formed content addresses are never indexed,
+// served, or deleted — the store shares a directory politely.
+func TestDiskStoreIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, "README")
+	if err := os.WriteFile(stray, []byte("not a result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "deadbeef")
+	if err := os.WriteFile(short, []byte("also not"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir, 0)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("stray files indexed: %+v", st)
+	}
+	if _, ok := s.Get("README"); ok {
+		t.Fatal("non-key lookup served a stray file")
+	}
+	s.Put("not-a-key", []byte("x"))
+	for _, p := range []string{stray, short} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("stray file %s disturbed: %v", p, err)
+		}
+	}
+}
+
+// Exhaustive small-scale tamper property: no truncation and no single-byte
+// corruption of a valid envelope can ever decode to a different payload.
+// (Failing to decode is fine — that is a miss; decoding wrong bytes is the
+// one unacceptable outcome.)
+func TestEnvelopeTamperNeverYieldsWrongPayload(t *testing.T) {
+	key := testKey("tamper")
+	payload := []byte(`{"sim_version":"` + tss.SimVersion + `","cycles":42,"util":0.5}`)
+	env := encodeEnvelope(key, payload)
+
+	check := func(what string, mutated []byte) {
+		t.Helper()
+		got, err := decodeEnvelope(key, mutated)
+		if err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("%s decoded to a different payload: %q", what, got)
+		}
+	}
+	for i := 0; i < len(env); i++ {
+		check(fmt.Sprintf("truncation to %d bytes", i), env[:i])
+		m := append([]byte(nil), env...)
+		m[i] ^= 0xff
+		check(fmt.Sprintf("flip at byte %d", i), m)
+	}
+	// And the unmutated envelope still decodes exactly.
+	got, err := decodeEnvelope(key, env)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("pristine envelope: %v %q", err, got)
+	}
+}
+
+// FuzzResultEnvelope drives the persistent store's safety contract from
+// arbitrary bytes: decoding never panics, anything that decodes re-encodes
+// losslessly, and every payload round-trips exactly through its envelope.
+func FuzzResultEnvelope(f *testing.F) {
+	key := testKey("fuzz-seed")
+	valid := encodeEnvelope(key, []byte(`{"sim_version":"`+tss.SimVersion+`","cycles":7}`))
+	f.Add(key, valid)
+	f.Add(key, valid[:len(valid)/2])
+	f.Add(key, []byte{})
+	f.Add(key, []byte(envelopeMagic+"\n{}\n"))
+	f.Add(strings.Repeat("f", 64), []byte(envelopeMagic+"\nnot-json\npayload"))
+
+	f.Fuzz(func(t *testing.T, k string, data []byte) {
+		// Arbitrary bytes either fail to decode (a miss) or decode to a
+		// payload whose re-encoding is stable under the same key.
+		if payload, err := decodeEnvelope(k, data); err == nil {
+			again, err2 := decodeEnvelope(k, encodeEnvelope(k, payload))
+			if err2 != nil || !bytes.Equal(again, payload) {
+				t.Fatalf("accepted envelope is not re-encode stable: %v", err2)
+			}
+		}
+		// Every (key, payload) pair round-trips exactly, as long as the
+		// header fits the decoder's scan bound (absurd multi-KB keys are
+		// legitimately rejected; real keys are always 64 hex bytes) and the
+		// key survives JSON encoding (invalid UTF-8 is lossily replaced by
+		// encoding/json, which a real key never contains).
+		if !utf8.ValidString(k) {
+			return
+		}
+		env := encodeEnvelope(k, data)
+		if hdrEnd := bytes.IndexByte(env[len(envelopeMagic)+1:], '\n'); hdrEnd > maxEnvelopeHeader {
+			return
+		}
+		got, err := decodeEnvelope(k, env)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round-trip changed payload: %q -> %q", data, got)
+		}
+	})
+}
