@@ -61,6 +61,7 @@ func main() {
 		benchJS   = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
 		benchNote = flag.String("benchnote", "", "label for the -benchjson snapshot (set when the measured code changed)")
 		remote    = flag.String("remote", "", "submit experiments to a tssd daemon at this base URL instead of running locally")
+		token     = flag.String("token", "", "bearer token for the remote daemon (with -remote against an authenticated tssd)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -103,7 +104,7 @@ func main() {
 		// -workers keeps its meaning remotely: it sizes the sweep's
 		// internal pool, just on the daemon (0 falls back to the
 		// daemon's serial default rather than the client's CPU count).
-		runRemote(*remote, ids, *full, *seed, *cores, *workers, sink)
+		runRemote(*remote, *token, ids, *full, *seed, *cores, *workers, sink)
 		writeSink(sink, *jsonOut)
 		return
 	}
@@ -151,10 +152,10 @@ func writeSink(sink *experiments.Sink, jsonOut string) {
 // printing its output lines as they stream back and recording the returned
 // sweep points into sink (for -json). Ctrl-C cancels the in-flight remote
 // job cooperatively before exiting.
-func runRemote(base string, ids []string, full bool, seed int64, cores, sweepWorkers int, sink *experiments.Sink) {
+func runRemote(base, token string, ids []string, full bool, seed int64, cores, sweepWorkers int, sink *experiments.Sink) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cl := service.NewClient(base)
+	cl := service.NewClient(base, service.WithToken(token))
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.Get(id)

@@ -73,6 +73,9 @@ func main() {
 		fleetMode    = flag.Bool("fleet", false, "run as a fleet dispatcher: jobs are fanned out to workers that register via -join (or POST /v1/workers)")
 		join         = flag.String("join", "", "dispatcher base URL to join as a fleet worker")
 		advertise    = flag.String("advertise", "", "base URL at which the dispatcher can reach this worker (default derived from -addr)")
+		authFile     = flag.String("auth-file", "", "JSON tenant/token table; when set, every /v1 endpoint requires a bearer token (see docs/SERVICE.md)")
+		token        = flag.String("token", "", "bearer token this daemon presents to other daemons (-join registration, heartbeats, and dispatch)")
+		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "fleet heartbeat interval: workers beat at this rate, the dispatcher ages liveness by it (0 with -join = register once, no heartbeats)")
 	)
 	flag.Parse()
 
@@ -85,15 +88,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var auth *service.AuthConfig
+	if *authFile != "" {
+		var err error
+		auth, err = service.LoadAuthFile(*authFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tssd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	srv, err := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     int64(*cacheMB) << 20,
-		MaxJobs:        *maxJobs,
-		Fleet:          *fleetMode,
-		CacheDir:       *cacheDir,
-		CacheDiskBytes: int64(*cacheDiskMB) << 20,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		CacheBytes:        int64(*cacheMB) << 20,
+		MaxJobs:           *maxJobs,
+		Fleet:             *fleetMode,
+		CacheDir:          *cacheDir,
+		CacheDiskBytes:    int64(*cacheDiskMB) << 20,
+		Auth:              auth,
+		PeerToken:         *token,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tssd: %v\n", err)
@@ -112,12 +128,17 @@ func main() {
 			self = advertiseFromAddr(*addr)
 		}
 		go func() {
-			id, err := service.JoinFleet(ctx, *join, self)
+			id, err := service.JoinFleet(ctx, *join, self, service.WithToken(*token))
 			if err != nil {
 				log.Printf("tssd: %v", err)
 				return
 			}
 			log.Printf("tssd: joined fleet at %s as %s (advertised %s)", *join, id, self)
+			if *heartbeat > 0 {
+				// Heartbeats double as re-registration: a restarted
+				// dispatcher re-learns this worker on the next beat.
+				service.HeartbeatLoop(ctx, *join, self, srv.Instance(), *heartbeat, service.WithToken(*token))
+			}
 		}()
 	}
 

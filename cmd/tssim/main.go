@@ -57,6 +57,7 @@ func main() {
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
 		stream   = flag.Bool("stream", false, "generate tasks lazily and run via the streaming frontend path")
 		remote   = flag.String("remote", "", "submit the run to a tssd daemon at this base URL instead of simulating locally")
+		token    = flag.String("token", "", "bearer token for the remote daemon (with -remote against an authenticated tssd)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -77,7 +78,7 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runRemote(*remote, *workload, *tasks, *seed, *runtime, *cores, *numTRS, *numORT, *trsKB, *ortKB, *memory)
+		runRemote(*remote, *token, *workload, *tasks, *seed, *runtime, *cores, *numTRS, *numORT, *trsKB, *ortKB, *memory)
 		return
 	}
 
@@ -224,7 +225,7 @@ func cancelRemote(cl *service.Client, prog, id string) {
 // runRemote submits the run to a tssd daemon, streams progress, and prints
 // the canonical result (noting whether it was served from the result cache).
 // Ctrl-C cancels the remote job cooperatively before exiting.
-func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
+func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind string,
 	cores, numTRS, numORT, trsKB, ortKB int, memory bool) {
 	spec := &service.JobSpec{
 		Kind: service.KindSim,
@@ -245,7 +246,7 @@ func runRemote(base, workload string, tasks int, seed int64, runtimeKind string,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cl := service.NewClient(base)
+	cl := service.NewClient(base, service.WithToken(token))
 	st, err := cl.Submit(ctx, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tssim: %v\n", err)

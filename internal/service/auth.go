@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Bearer-token auth and tenant identity.
+//
+// A daemon started with an auth config (cmd/tssd -auth-file) requires
+// `Authorization: Bearer <token>` on every /v1/* endpoint — job submission,
+// inspection, cancellation, and fleet registration alike. Each token maps to
+// a tenant, and the tenant carries the daemon's multi-tenant policy: a
+// fair-share weight (see sched.go), a max-in-flight job quota, and a
+// submission rate limit. /stats and /healthz stay open: health probes and
+// metrics scrapers need no identity.
+//
+// Without an auth config the daemon is open, exactly as before multi-tenancy:
+// every request resolves to the built-in DefaultTenant with weight 1 and no
+// limits.
+
+// TenantConfig declares one tenant in the auth config file.
+type TenantConfig struct {
+	// Name identifies the tenant in /stats, job listings, and scheduling.
+	Name string `json:"name"`
+	// Token is the bearer token that authenticates as this tenant.
+	Token string `json:"token"`
+	// Weight is the tenant's fair-share weight (default 1): under
+	// saturation, tenants receive worker time proportionally to weight.
+	Weight int `json:"weight,omitempty"`
+	// MaxInflight bounds the tenant's concurrently queued + running primary
+	// jobs (0 = unlimited). Cache hits and coalesced submissions don't
+	// consume quota — they never occupy a worker.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// RatePerSec bounds the tenant's submission rate via a token bucket
+	// (0 = unlimited); Burst is the bucket size (default max(1, RatePerSec)).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+}
+
+// AuthConfig is the daemon's static token table (Config.Auth, loaded from
+// cmd/tssd -auth-file).
+type AuthConfig struct {
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// Validate checks the config for the invariants the daemon relies on:
+// nonempty unique names and tokens, sane weights and limits.
+func (a *AuthConfig) Validate() error {
+	if len(a.Tenants) == 0 {
+		return fmt.Errorf("auth config declares no tenants")
+	}
+	names := make(map[string]bool, len(a.Tenants))
+	tokens := make(map[string]bool, len(a.Tenants))
+	for i, tc := range a.Tenants {
+		if tc.Name == "" {
+			return fmt.Errorf("tenant %d has no name", i)
+		}
+		if tc.Token == "" {
+			return fmt.Errorf("tenant %q has no token", tc.Name)
+		}
+		if names[tc.Name] {
+			return fmt.Errorf("duplicate tenant name %q", tc.Name)
+		}
+		if tokens[tc.Token] {
+			return fmt.Errorf("tenant %q reuses another tenant's token", tc.Name)
+		}
+		names[tc.Name], tokens[tc.Token] = true, true
+		if tc.Weight < 0 {
+			return fmt.Errorf("tenant %q has negative weight %d", tc.Name, tc.Weight)
+		}
+		if tc.MaxInflight < 0 || tc.RatePerSec < 0 || tc.Burst < 0 {
+			return fmt.Errorf("tenant %q has a negative limit", tc.Name)
+		}
+	}
+	return nil
+}
+
+// LoadAuthFile reads and validates a JSON auth config:
+//
+//	{"tenants": [
+//	  {"name": "alice", "token": "s3cret", "weight": 3,
+//	   "max_inflight": 8, "rate_per_sec": 50, "burst": 100},
+//	  {"name": "bob", "token": "hunter2"}
+//	]}
+func LoadAuthFile(path string) (*AuthConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("auth file: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var cfg AuthConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("auth file %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("auth file %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// tenantCtxKey carries the authenticated *tenantState through the request
+// context from the auth wrapper to the handlers.
+type tenantCtxKey struct{}
+
+// protect wraps a /v1 handler with tenant resolution: with auth configured
+// the request must carry a known bearer token (else 401 with the
+// unauthorized envelope); without, it resolves to the default tenant.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.authenticate(r)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, CodeUnauthorized,
+				"missing or unknown bearer token")
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+	}
+}
+
+// authenticate resolves the request's tenant.
+func (s *Server) authenticate(r *http.Request) (*tenantState, bool) {
+	if len(s.tokens) == 0 {
+		return s.defaultTenant, true
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(auth, prefix) {
+		return nil, false
+	}
+	t, ok := s.tokens[strings.TrimSpace(auth[len(prefix):])]
+	return t, ok
+}
+
+// requestTenant returns the tenant the auth wrapper resolved for this
+// request (the default tenant if the handler was somehow reached unwrapped).
+func (s *Server) requestTenant(r *http.Request) *tenantState {
+	if t, ok := r.Context().Value(tenantCtxKey{}).(*tenantState); ok {
+		return t
+	}
+	return s.defaultTenant
+}

@@ -1,0 +1,350 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Auth config files are validated on load: every rejection names the problem.
+func TestLoadAuthFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good, err := LoadAuthFile(write("good.json",
+		`{"tenants": [
+		   {"name": "alice", "token": "s3cret", "weight": 3, "max_inflight": 8, "rate_per_sec": 50},
+		   {"name": "bob", "token": "hunter2"}
+		 ]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good.Tenants) != 2 || good.Tenants[0].Weight != 3 {
+		t.Fatalf("bad parse: %+v", good)
+	}
+
+	bad := []struct{ name, body, want string }{
+		{"empty.json", `{"tenants": []}`, "no tenants"},
+		{"noname.json", `{"tenants": [{"token": "x"}]}`, "no name"},
+		{"notoken.json", `{"tenants": [{"name": "a"}]}`, "no token"},
+		{"dupname.json", `{"tenants": [{"name": "a", "token": "x"}, {"name": "a", "token": "y"}]}`, "duplicate"},
+		{"duptoken.json", `{"tenants": [{"name": "a", "token": "x"}, {"name": "b", "token": "x"}]}`, "token"},
+		{"negweight.json", `{"tenants": [{"name": "a", "token": "x", "weight": -1}]}`, "weight"},
+		{"neglimit.json", `{"tenants": [{"name": "a", "token": "x", "max_inflight": -2}]}`, "limit"},
+		{"unknownfield.json", `{"tenants": [{"name": "a", "token": "x", "color": "red"}]}`, "color"},
+	}
+	for _, tc := range bad {
+		if _, err := LoadAuthFile(write(tc.name, tc.body)); err == nil {
+			t.Errorf("%s: accepted, want error mentioning %q", tc.name, tc.want)
+		}
+	}
+	if _, err := LoadAuthFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// An authenticated daemon rejects requests without a known bearer token on
+// every /v1 endpoint with the unified unauthorized envelope, while /stats and
+// /healthz stay open; a valid token resolves to its tenant.
+func TestAuthRequired(t *testing.T) {
+	auth := &AuthConfig{Tenants: []TenantConfig{{Name: "alice", Token: "s3cret"}}}
+	_, anon := startDaemon(t, Config{Workers: 1, Auth: auth})
+	ctx := context.Background()
+
+	checkUnauthorized := func(err error) {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("got %v, want *APIError", err)
+		}
+		if apiErr.Status != http.StatusUnauthorized || apiErr.Code != CodeUnauthorized || apiErr.Retryable {
+			t.Fatalf("got status=%d code=%q retryable=%v, want 401 unauthorized non-retryable",
+				apiErr.Status, apiErr.Code, apiErr.Retryable)
+		}
+	}
+	_, err := anon.Submit(ctx, simSpec("cholesky", 500, 1, 16))
+	checkUnauthorized(err)
+	_, err = anon.Jobs(ctx, JobFilter{})
+	checkUnauthorized(err)
+	_, err = NewClient(anon.Base(), WithToken("wrong")).Jobs(ctx, JobFilter{})
+	checkUnauthorized(err)
+
+	// The envelope itself, at the wire level.
+	resp, err := http.Get(anon.Base() + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("unauthorized response is not the unified envelope: %v", err)
+	}
+	resp.Body.Close()
+	if env.Error.Code != CodeUnauthorized || env.Error.Message == "" || env.Error.Retryable {
+		t.Fatalf("envelope %+v, want code=unauthorized with a message", env.Error)
+	}
+
+	// /stats and /healthz need no identity.
+	if _, err := anon.Stats(ctx); err != nil {
+		t.Fatalf("/stats requires auth: %v", err)
+	}
+	resp, err = http.Get(anon.Base() + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/healthz requires auth: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// The real token works, and the job is attributed to the tenant.
+	alice := NewClient(anon.Base(), WithToken("s3cret"))
+	st, err := alice.Submit(ctx, simSpec("cholesky", 500, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "alice" {
+		t.Fatalf("job attributed to %q, want alice", st.Tenant)
+	}
+	if _, err := alice.Wait(ctx, st.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The in-flight quota counts queued+running primary jobs only: a tenant at
+// its quota is rejected with quota_exceeded, but coalesced submissions and
+// cache hits — which occupy no worker — are always admitted, and settling a
+// job frees its slot.
+func TestQuotaMaxInflight(t *testing.T) {
+	auth := &AuthConfig{Tenants: []TenantConfig{{Name: "alice", Token: "s3cret", MaxInflight: 1}}}
+	_, base := startDaemon(t, Config{Workers: 1, Auth: auth})
+	cl := NewClient(base.Base(), WithToken("s3cret"))
+	ctx := context.Background()
+
+	// The occupying job must still be in flight through the next two
+	// submissions even on a loaded host, so it is sized for ~1s of work.
+	slow := simSpec("cholesky", 60000, 11, 16)
+	st1, err := cl.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second distinct job busts the quota — deterministically, because the
+	// first is still queued or running on the single worker.
+	var apiErr *APIError
+	_, err = cl.Submit(ctx, simSpec("cholesky", 500, 12, 16))
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeQuotaExceeded {
+		t.Fatalf("over-quota submit: got %v, want quota_exceeded", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || !apiErr.Retryable {
+		t.Fatalf("quota rejection status=%d retryable=%v, want 429 retryable", apiErr.Status, apiErr.Retryable)
+	}
+
+	// An identical submission coalesces — no new worker slot, no quota.
+	st2, err := cl.Submit(ctx, simSpec("cholesky", 60000, 11, 16))
+	if err != nil {
+		t.Fatalf("coalesced submission charged against quota: %v", err)
+	}
+	if !st2.Coalesced {
+		t.Fatalf("identical in-flight submission not coalesced: %+v", st2)
+	}
+
+	// Settling releases the slot; a cache hit never consumes one.
+	if _, err := cl.Wait(ctx, st1.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := cl.Submit(ctx, simSpec("cholesky", 60000, 11, 16))
+	if err != nil || !st3.Cached {
+		t.Fatalf("post-settle cache hit: %v %+v", err, st3)
+	}
+	if _, err := cl.Submit(ctx, simSpec("cholesky", 500, 12, 16)); err != nil {
+		t.Fatalf("slot not released at settle: %v", err)
+	}
+
+	// The rejections are visible in /stats.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0].RejectedQuota != 1 {
+		t.Fatalf("tenant stats %+v, want rejected_quota=1", stats.Tenants)
+	}
+}
+
+// The submission rate limit is a token bucket: burst admits back-to-back
+// submissions, the next is rejected with rate_limited.
+func TestRateLimit(t *testing.T) {
+	auth := &AuthConfig{Tenants: []TenantConfig{{Name: "alice", Token: "s3cret", RatePerSec: 0.001, Burst: 2}}}
+	_, base := startDaemon(t, Config{Workers: 1, Auth: auth})
+	cl := NewClient(base.Base(), WithToken("s3cret"))
+	ctx := context.Background()
+
+	for i := int64(0); i < 2; i++ {
+		if _, err := cl.Submit(ctx, simSpec("cholesky", 500, 100+i, 16)); err != nil {
+			t.Fatalf("submission %d inside burst rejected: %v", i, err)
+		}
+	}
+	var apiErr *APIError
+	_, err := cl.Submit(ctx, simSpec("cholesky", 500, 300, 16))
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeRateLimited {
+		t.Fatalf("over-rate submit: got %v, want rate_limited", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || !apiErr.Retryable {
+		t.Fatalf("rate rejection status=%d retryable=%v, want 429 retryable", apiErr.Status, apiErr.Retryable)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tenants[0].RejectedRate != 1 {
+		t.Fatalf("tenant stats %+v, want rejected_rate=1", stats.Tenants[0])
+	}
+}
+
+// GET /v1/jobs: status and tenant filters plus deterministic cursor
+// pagination — pages resume strictly after the cursor, never skipping or
+// repeating a job.
+func TestJobListFilterAndPagination(t *testing.T) {
+	_, cl := startDaemon(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	var ids []string
+	for i := int64(0); i < 5; i++ {
+		st, err := cl.Submit(ctx, simSpec("cholesky", 500, 400+i, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if _, err := cl.Wait(ctx, id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Walk in pages of 2: the union is every job, in submission order.
+	var walked []string
+	filter := JobFilter{Limit: 2}
+	for {
+		page, err := cl.Jobs(ctx, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs, limit 2", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			walked = append(walked, j.ID)
+			if j.Result != nil {
+				t.Fatal("listing carried a result payload")
+			}
+		}
+		if page.NextAfter == "" {
+			break
+		}
+		filter.After = page.NextAfter
+	}
+	if len(walked) != len(ids) {
+		t.Fatalf("walked %d jobs, want %d", len(walked), len(ids))
+	}
+	for i := range ids {
+		if walked[i] != ids[i] {
+			t.Fatalf("page walk out of order at %d: %s, want %s", i, walked[i], ids[i])
+		}
+	}
+
+	// Filters: all five are done; none are running; the default tenant owns
+	// them all; an unknown tenant owns none.
+	done, err := cl.Jobs(ctx, JobFilter{Status: StatusDone})
+	if err != nil || len(done.Jobs) != 5 {
+		t.Fatalf("status=done: %v, %d jobs", err, len(done.Jobs))
+	}
+	running, err := cl.Jobs(ctx, JobFilter{Status: StatusRunning})
+	if err != nil || len(running.Jobs) != 0 {
+		t.Fatalf("status=running: %v, %d jobs", err, len(running.Jobs))
+	}
+	mine, err := cl.Jobs(ctx, JobFilter{Tenant: DefaultTenant})
+	if err != nil || len(mine.Jobs) != 5 {
+		t.Fatalf("tenant=default: %v, %d jobs", err, len(mine.Jobs))
+	}
+	none, err := cl.Jobs(ctx, JobFilter{Tenant: "nobody"})
+	if err != nil || len(none.Jobs) != 0 {
+		t.Fatalf("tenant=nobody: %v, %d jobs", err, len(none.Jobs))
+	}
+
+	// Bad parameters are unified bad_request envelopes.
+	var apiErr *APIError
+	if _, err := cl.Jobs(ctx, JobFilter{Status: "bogus"}); !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
+		t.Fatalf("bogus status filter: %v", err)
+	}
+	if _, err := cl.Jobs(ctx, JobFilter{After: "not-a-job"}); !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
+		t.Fatalf("bogus cursor: %v", err)
+	}
+}
+
+// Unified envelope end to end: typed codes for the not-found and not-ready
+// families, decodable via errors.As on every client method.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	_, cl := startDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	var apiErr *APIError
+	if _, err := cl.Job(ctx, "job-999"); !errors.As(err, &apiErr) || apiErr.Code != CodeNotFound {
+		t.Fatalf("missing job: %v, want not_found", err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Retryable {
+		t.Fatalf("not_found status=%d retryable=%v", apiErr.Status, apiErr.Retryable)
+	}
+	if _, err := cl.Result(ctx, "job-999"); !errors.As(err, &apiErr) || apiErr.Code != CodeNotFound {
+		t.Fatalf("missing result: %v, want not_found", err)
+	}
+
+	// A result requested before the job settles is not_ready (retryable).
+	st, err := cl.Submit(ctx, simSpec("cholesky", 6000, 21, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Result(ctx, st.ID); !errors.As(err, &apiErr) || apiErr.Code != CodeNotReady || !apiErr.Retryable {
+		t.Fatalf("early result fetch: %v, want retryable not_ready", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled job's result is job_cancelled, and the legacy "cancelled"
+	// wording survives in the message for humans.
+	st2, err := cl.Submit(ctx, simSpec("cholesky", 6000, 22, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Cancel(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForTerminal(t, cl, st2.ID)
+	if _, err := cl.Result(ctx, st2.ID); !errors.As(err, &apiErr) || apiErr.Code != CodeJobCancelled {
+		t.Fatalf("cancelled result fetch: %v, want job_cancelled", err)
+	}
+}
+
+// waitForTerminal polls until the job settles.
+func waitForTerminal(t *testing.T, cl *Client, id string) {
+	t.Helper()
+	for {
+		st, err := cl.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminalStatus(st.Status) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,51 +4,94 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+
+	"encoding/json"
 )
 
-// Client is the Go client for a tssd daemon. The zero HTTP client uses
-// http.DefaultClient; Base is the daemon's root URL (e.g.
-// "http://localhost:7077").
+// Client is the Go client for a tssd daemon. Construct it with NewClient and
+// functional options:
+//
+//	cl := service.NewClient("http://localhost:7077",
+//		service.WithToken("s3cret"),
+//		service.WithHTTPClient(&http.Client{Timeout: 0}))
+//
+// The zero option set uses http.DefaultClient, no auth, and a default
+// User-Agent.
 type Client struct {
-	// Base is the daemon root URL, without a trailing slash.
-	Base string
-	// HTTP optionally overrides the transport (nil uses
-	// http.DefaultClient).
-	HTTP *http.Client
+	base      string
+	http      *http.Client
+	token     string
+	userAgent string
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithToken sets the bearer token sent as `Authorization: Bearer <token>` on
+// every request — required against a daemon running with an auth config.
+func WithToken(token string) ClientOption {
+	return func(c *Client) { c.token = token }
+}
+
+// WithHTTPClient overrides the underlying *http.Client (timeouts, custom
+// transports). nil restores http.DefaultClient.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithUserAgent overrides the User-Agent header.
+func WithUserAgent(ua string) ClientOption {
+	return func(c *Client) { c.userAgent = ua }
 }
 
 // NewClient returns a client for the daemon at base.
-func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/")}
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:      strings.TrimRight(base, "/"),
+		userAgent: "tssd-client/1",
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
+// Base returns the daemon root URL this client targets.
+func (c *Client) Base() string { return c.base }
+
 func (c *Client) httpClient() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
+	if c.http != nil {
+		return c.http
 	}
 	return http.DefaultClient
 }
 
-// apiError decodes a non-2xx response into an error.
-func apiError(resp *http.Response) error {
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-	var e struct {
-		Error string `json:"error"`
+// newRequest builds a request with the client's standing headers applied.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("tssd: %s (%s)", e.Error, resp.Status)
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
-	return fmt.Errorf("tssd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	if c.userAgent != "" {
+		req.Header.Set("User-Agent", c.userAgent)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -57,9 +100,38 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return decodeAPIError(resp)
 	}
 	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// doJSON issues a request with an optional JSON body and decodes a 2xx
+// response into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var r io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		r = bytes.NewReader(b)
+	}
+	req, err := c.newRequest(ctx, method, path, r)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		return nil
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -82,11 +154,10 @@ func (c *Client) SubmitVia(ctx context.Context, spec *JobSpec, via []string) (*S
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
 	if len(via) > 0 {
 		req.Header.Set(DispatchPathHeader, strings.Join(via, ","))
 	}
@@ -95,7 +166,7 @@ func (c *Client) SubmitVia(ctx context.Context, spec *JobSpec, via []string) (*S
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return nil, apiError(resp)
+		return nil, decodeAPIError(resp)
 	}
 	defer resp.Body.Close()
 	var st SubmitStatus
@@ -114,25 +185,64 @@ func (c *Client) Job(ctx context.Context, id string) (*SubmitStatus, error) {
 	return &st, nil
 }
 
+// JobFilter selects and pages the job listing (GET /v1/jobs).
+type JobFilter struct {
+	// Status keeps only jobs in that state (queued, running, done, failed,
+	// cancelled); empty keeps all.
+	Status string
+	// Tenant keeps only jobs submitted by that tenant; empty keeps all.
+	Tenant string
+	// Limit bounds the page size (server default 100, max 1000).
+	Limit int
+	// After resumes a listing after the given job ID — pass the previous
+	// page's NextAfter cursor.
+	After string
+}
+
+// JobList is one page of the job listing.
+type JobList struct {
+	// Jobs are the matching jobs in submission order (results elided; fetch
+	// per job).
+	Jobs []SubmitStatus `json:"jobs"`
+	// NextAfter, when set, is the cursor for the next page: the listing
+	// stopped at Limit with more jobs remaining.
+	NextAfter string `json:"next_after,omitempty"`
+}
+
+// Jobs lists the daemon's jobs with optional filtering and deterministic
+// cursor pagination.
+func (c *Client) Jobs(ctx context.Context, f JobFilter) (*JobList, error) {
+	q := url.Values{}
+	if f.Status != "" {
+		q.Set("status", f.Status)
+	}
+	if f.Tenant != "" {
+		q.Set("tenant", f.Tenant)
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if f.After != "" {
+		q.Set("after", f.After)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list JobList
+	if err := c.getJSON(ctx, path, &list); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
 // Cancel requests cooperative cancellation of a job (DELETE /v1/jobs/{id})
 // and returns the job's status as of the request. Cancellation is
 // idempotent: a job that already reached a terminal state is left untouched
 // and its settled status is returned, so repeated Cancels converge.
 func (c *Client) Cancel(ctx context.Context, id string) (*SubmitStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
-	defer resp.Body.Close()
 	var st SubmitStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -141,7 +251,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*SubmitStatus, error) {
 // Result fetches a finished job's raw canonical result bytes — byte-identical
 // to RunSpec of the same spec, whether simulated or served from cache.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/result", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +260,7 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return nil, decodeAPIError(resp)
 	}
 	defer resp.Body.Close()
 	return io.ReadAll(resp.Body)
@@ -181,7 +291,7 @@ type Event struct {
 // event: a watchdog closes the response body the moment ctx is done, rather
 // than relying on the transport to notice between reads.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}
@@ -191,7 +301,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return decodeAPIError(resp)
 	}
 	watchDone := make(chan struct{})
 	defer close(watchDone)

@@ -40,8 +40,7 @@ func TestEventsAbortsPromptlyOnCancel(t *testing.T) {
 	}))
 	t.Cleanup(func() { close(release); hs.Close() })
 
-	cl := NewClient(hs.URL)
-	cl.HTTP = &http.Client{Transport: detachedTransport{}}
+	cl := NewClient(hs.URL, WithHTTPClient(&http.Client{Transport: detachedTransport{}}))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 

@@ -53,21 +53,20 @@ type fleet struct {
 	retries uint64 // dispatch attempts moved to another node after a worker failure
 }
 
-// reprobeInterval paces the background health loop that returns recovered
-// workers to the rotation (without it, a node that failed once would only
-// ever be re-probed when no healthy worker remained).
-const reprobeInterval = 5 * time.Second
-
 func newFleet(s *Server) *fleet {
 	f := &fleet{s: s, slots: make(chan struct{}, s.cfg.QueueDepth), stop: make(chan struct{})}
-	go f.reprobeLoop()
+	go f.livenessLoop()
 	return f
 }
 
-// reprobeLoop periodically probes unhealthy workers so a recovered node
-// rejoins the rotation even while healthy peers are absorbing the load.
-func (f *fleet) reprobeLoop() {
-	t := time.NewTicker(reprobeInterval)
+// livenessLoop is the background liveness sweep, ticking at the configured
+// heartbeat interval. Heartbeat-opted workers age through the state machine
+// (healthy → suspect → dead) purely on elapsed time since their last beat;
+// join-only workers — which never beat — are instead re-probed when suspect,
+// so a recovered node rejoins the rotation even while healthy peers are
+// absorbing the load (the pre-heartbeat behavior).
+func (f *fleet) livenessLoop() {
+	t := time.NewTicker(f.s.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -75,24 +74,38 @@ func (f *fleet) reprobeLoop() {
 			return
 		case <-t.C:
 		}
+		now := time.Now()
 		f.mu.Lock()
 		nodes := append([]*workerNode(nil), f.workers...)
 		f.mu.Unlock()
 		for _, w := range nodes {
-			if healthy, _ := w.state(); !healthy {
+			w.mu.Lock()
+			opted, state := w.beatOpted, w.state
+			w.mu.Unlock()
+			if opted {
+				w.age(now, f.s.cfg.HeartbeatInterval)
+			} else if state != WorkerHealthy {
 				w.probe()
 			}
 		}
 	}
 }
 
-// tryAcquire takes a dispatch slot without blocking.
-func (f *fleet) tryAcquire() bool {
-	select {
-	case f.slots <- struct{}{}:
-		return true
-	default:
-		return false
+// pump is fleet mode's intake: one goroutine pulls the scheduler's
+// fair-share picks — the same weighted, priority-aware order the local
+// worker pool sees — and fans each job out on its own dispatch goroutine,
+// bounded by the slots semaphore. It exits when the scheduler is closed and
+// drained; in-flight dispatches then finish under the server WaitGroup.
+func (f *fleet) pump() {
+	defer f.s.wg.Done()
+	for {
+		j := f.s.sched.next()
+		if j == nil {
+			return
+		}
+		f.slots <- struct{}{}
+		f.s.wg.Add(1)
+		go f.dispatch(j)
 	}
 }
 
@@ -186,7 +199,7 @@ func (f *fleet) shardWidth() int {
 	defer f.mu.Unlock()
 	n := 0
 	for _, w := range f.workers {
-		if healthy, _ := w.state(); healthy {
+		if ok, healthy, _ := w.dispatchable(); ok && healthy {
 			n++
 		}
 	}
@@ -283,10 +296,11 @@ func (f *fleet) relay(e *execution, ev Event) {
 	}
 }
 
-// pick chooses the healthy, non-excluded worker with the fewest active
-// dispatches (ties: registration order). If every candidate is marked
-// unhealthy, each is probed once via /healthz so a recovered node rejoins
-// the rotation without manual intervention.
+// pick chooses the healthy, non-excluded, non-draining worker with the
+// fewest active dispatches (ties: registration order). If no candidate is
+// healthy, each dispatchable one is probed once via /healthz so a recovered
+// node rejoins the rotation without manual intervention. Draining workers
+// are never picked — that is the whole drain contract.
 func (f *fleet) pick(excluded map[string]bool) *workerNode {
 	f.mu.Lock()
 	candidates := make([]*workerNode, 0, len(f.workers))
@@ -300,8 +314,8 @@ func (f *fleet) pick(excluded map[string]bool) *workerNode {
 	var best *workerNode
 	bestActive := 0
 	for _, w := range candidates {
-		healthy, active := w.state()
-		if !healthy {
+		ok, healthy, active := w.dispatchable()
+		if !ok || !healthy {
 			continue
 		}
 		if best == nil || active < bestActive {
@@ -312,7 +326,7 @@ func (f *fleet) pick(excluded map[string]bool) *workerNode {
 		return best
 	}
 	for _, w := range candidates {
-		if w.probe() {
+		if ok, _, _ := w.dispatchable(); ok && w.probe() {
 			return w
 		}
 	}

@@ -451,7 +451,7 @@ func TestFleetWorkerRegistry(t *testing.T) {
 	// The dispatcher must refuse to register itself as its own worker
 	// (self-dispatch would coalesce a job with itself and deadlock) and
 	// must refuse a worker it cannot reach.
-	if _, err := cl.JoinWorker(ctx, cl.Base); err == nil || !strings.Contains(err.Error(), "itself") {
+	if _, err := cl.JoinWorker(ctx, cl.Base()); err == nil || !strings.Contains(err.Error(), "itself") {
 		t.Fatalf("self-join: %v, want rejection naming the dispatcher itself", err)
 	}
 	if _, err := cl.JoinWorker(ctx, "http://127.0.0.1:1"); err == nil {
@@ -475,7 +475,7 @@ func TestFleetWorkerRegistry(t *testing.T) {
 	}
 
 	// Deregistration removes the node (and is 404 the second time).
-	req, err := http.NewRequest(http.MethodDelete, cl.Base+"/v1/workers/"+ws[1].ID, nil)
+	req, err := http.NewRequest(http.MethodDelete, cl.Base()+"/v1/workers/"+ws[1].ID, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

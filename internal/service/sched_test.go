@@ -1,0 +1,362 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// --- scheduler unit tests (no HTTP, no clock) ---
+
+func schedTestJob(t *tenantState, class int, label string) *job {
+	return &job{id: label, tenant: t, class: class, exec: newExecution(StatusQueued)}
+}
+
+// Weighted shares: two saturated tenants at weights 3:1 receive picks in a
+// 3:1 ratio, deterministically, from start-time fair queueing.
+func TestSchedulerWeightedShares(t *testing.T) {
+	sc := newScheduler(1024)
+	alpha := newTenantState(TenantConfig{Name: "alpha", Weight: 3})
+	beta := newTenantState(TenantConfig{Name: "beta", Weight: 1})
+	for i := 0; i < 200; i++ {
+		if !sc.enqueue(schedTestJob(alpha, classBulk, fmt.Sprintf("a%d", i))) {
+			t.Fatal("enqueue rejected")
+		}
+		if !sc.enqueue(schedTestJob(beta, classBulk, fmt.Sprintf("b%d", i))) {
+			t.Fatal("enqueue rejected")
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		j := sc.next()
+		counts[j.tenant.name]++
+	}
+	// 3:1 over 200 picks is exactly 150/50; allow ±2 for tag-tie boundary
+	// effects at the start of the run.
+	if counts["alpha"] < 148 || counts["alpha"] > 152 {
+		t.Fatalf("alpha got %d of 200 picks, want ~150 (beta %d)", counts["alpha"], counts["beta"])
+	}
+}
+
+// A tenant returning from idle banks no credit: its tag is floored to the
+// virtual clock, so it resumes at its weighted share rather than burning a
+// backlog of "owed" picks.
+func TestSchedulerIdleTenantBanksNoCredit(t *testing.T) {
+	sc := newScheduler(1024)
+	alpha := newTenantState(TenantConfig{Name: "alpha", Weight: 3})
+	beta := newTenantState(TenantConfig{Name: "beta", Weight: 1})
+	// Beta idles while alpha alone receives 60 picks.
+	for i := 0; i < 100; i++ {
+		sc.enqueue(schedTestJob(alpha, classBulk, fmt.Sprintf("a%d", i)))
+	}
+	for i := 0; i < 60; i++ {
+		if j := sc.next(); j.tenant != alpha {
+			t.Fatal("pick from an empty tenant")
+		}
+	}
+	// Beta returns with a backlog. Over the next 40 picks it must receive
+	// ~10 (its 1/4 share), not dozens of catch-up picks.
+	for i := 0; i < 40; i++ {
+		sc.enqueue(schedTestJob(beta, classBulk, fmt.Sprintf("b%d", i)))
+	}
+	betaPicks := 0
+	for i := 0; i < 40; i++ {
+		if sc.next().tenant == beta {
+			betaPicks++
+		}
+	}
+	if betaPicks < 9 || betaPicks > 12 {
+		t.Fatalf("beta got %d of 40 picks after idling, want ~10", betaPicks)
+	}
+}
+
+// Within a tenant, interactive preempts bulk — but bulk wait is bounded:
+// after bulkPromoteEvery consecutive interactive picks with bulk queued, the
+// next pick is bulk.
+func TestSchedulerPriorityPreemptionBoundedWait(t *testing.T) {
+	sc := newScheduler(1024)
+	tn := newTenantState(TenantConfig{Name: "solo"})
+	for i := 0; i < 4; i++ {
+		sc.enqueue(schedTestJob(tn, classBulk, fmt.Sprintf("bulk%d", i)))
+	}
+	for i := 0; i < 40; i++ {
+		sc.enqueue(schedTestJob(tn, classInteractive, fmt.Sprintf("int%d", i)))
+	}
+	var order []int
+	for i := 0; i < 44; i++ {
+		order = append(order, sc.next().class)
+	}
+	// Interactive preempts the bulk jobs that arrived first.
+	for i := 0; i < bulkPromoteEvery; i++ {
+		if order[i] != classInteractive {
+			t.Fatalf("pick %d is bulk; interactive must preempt queued bulk", i)
+		}
+	}
+	// And bulk is promoted at the bound: no stretch of bulkPromoteEvery+1
+	// consecutive interactive picks while bulk work remained queued.
+	bulkSeen, run := 0, 0
+	for i, cls := range order {
+		if cls == classBulk {
+			bulkSeen++
+			run = 0
+			continue
+		}
+		run++
+		if bulkSeen < 4 && run > bulkPromoteEvery {
+			t.Fatalf("bulk starved: %d consecutive interactive picks at pick %d", run, i)
+		}
+	}
+	if bulkSeen != 4 {
+		t.Fatalf("drained %d bulk jobs, want 4", bulkSeen)
+	}
+}
+
+// The schedule is a pure function of (arrival sequence, tenant, priority):
+// replaying the same enqueue sequence yields the identical pick order.
+func TestSchedulerDeterministic(t *testing.T) {
+	run := func() []string {
+		sc := newScheduler(1024)
+		ta := newTenantState(TenantConfig{Name: "a", Weight: 2})
+		tb := newTenantState(TenantConfig{Name: "b", Weight: 1})
+		tc := newTenantState(TenantConfig{Name: "c", Weight: 5})
+		seqs := []struct {
+			tn  *tenantState
+			cls int
+		}{
+			{ta, classBulk}, {tb, classInteractive}, {tc, classBulk},
+			{ta, classInteractive}, {tc, classInteractive}, {tb, classBulk},
+		}
+		n := 0
+		for round := 0; round < 12; round++ {
+			for _, s := range seqs {
+				n++
+				sc.enqueue(schedTestJob(s.tn, s.cls, fmt.Sprintf("j%d", n)))
+			}
+		}
+		var order []string
+		for i := 0; i < n; i++ {
+			order = append(order, sc.next().id)
+		}
+		return order
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("pick %d differs between identical runs: %s vs %s", i, first[i], second[i])
+		}
+	}
+}
+
+// Closing the scheduler drains the queue (workers finish what was admitted)
+// and then returns nil — the shutdown signal.
+func TestSchedulerCloseDrains(t *testing.T) {
+	sc := newScheduler(16)
+	tn := newTenantState(TenantConfig{Name: "t"})
+	for i := 0; i < 3; i++ {
+		sc.enqueue(schedTestJob(tn, classInteractive, fmt.Sprintf("j%d", i)))
+	}
+	sc.close()
+	if sc.enqueue(schedTestJob(tn, classInteractive, "late")) {
+		t.Fatal("enqueue accepted after close")
+	}
+	for i := 0; i < 3; i++ {
+		if sc.next() == nil {
+			t.Fatalf("queue dropped on close: nil at drain pick %d", i)
+		}
+	}
+	if sc.next() != nil {
+		t.Fatal("next returned a job from an empty closed scheduler")
+	}
+}
+
+// --- end-to-end scheduling acceptance ---
+
+// The multi-tenant acceptance bar: two tenants at weights 3:1 saturating a
+// 4-worker daemon converge to a 75%/25% completed-job share (±10%) while
+// both stay backlogged.
+func TestFairShareConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturates a worker pool for seconds")
+	}
+	auth := &AuthConfig{Tenants: []TenantConfig{
+		{Name: "alpha", Token: "tok-alpha", Weight: 3},
+		{Name: "beta", Token: "tok-beta", Weight: 1},
+	}}
+	_, cl := startDaemon(t, Config{Workers: 4, Auth: auth})
+	clA := NewClient(cl.Base(), WithToken("tok-alpha"))
+	clB := NewClient(cl.Base(), WithToken("tok-beta"))
+	ctx := context.Background()
+
+	// 48 alpha + 16 beta jobs, every spec distinct (no coalescing, no cache
+	// hits), interleaved 3:1 so both tenants are backlogged from the start.
+	submit := func(c *Client, seed int64) {
+		t.Helper()
+		if _, err := c.Submit(ctx, simSpec("cholesky", 6000, seed, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b int64
+	for i := 0; i < 16; i++ {
+		submit(clA, 1000+a)
+		a++
+		submit(clA, 1000+a)
+		a++
+		submit(clA, 1000+a)
+		a++
+		submit(clB, 2000+b)
+		b++
+	}
+	for i := 0; i < 32; i++ {
+		submit(clA, 1000+a)
+		a++
+	}
+
+	// Sample completed counts mid-run: once ≥40 jobs finished, the share
+	// must already reflect the 3:1 weights. (Beta still has jobs queued at
+	// that point — 40 fair picks consume only 10 of its 16.)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := clA.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var alphaDone, betaDone uint64
+		for _, ts := range st.Tenants {
+			switch ts.Name {
+			case "alpha":
+				alphaDone = ts.Completed
+			case "beta":
+				betaDone = ts.Completed
+			}
+		}
+		total := alphaDone + betaDone
+		if total >= 40 {
+			share := float64(alphaDone) / float64(total)
+			if share < 0.65 || share > 0.85 {
+				t.Fatalf("alpha completed share %.2f (%d/%d), want 0.75±0.10", share, alphaDone, total)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d jobs completed before deadline", total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// An interactive job submitted while bulk work is queued starts before any
+// further queued bulk job: with one worker, the interactive job must settle
+// before any of the bulk jobs that were queued ahead of it.
+func TestInteractivePreemptsQueuedBulk(t *testing.T) {
+	_, cl := startDaemon(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	// Occupy the single worker. The job must still be running after all five
+	// submissions below land (each HTTP round trip can take tens of
+	// milliseconds while the worker saturates the host), so it is sized for
+	// about a second of simulated work.
+	first, err := cl.Submit(ctx, simSpec("cholesky", 60000, 101, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, cl, first.ID, StatusRunning)
+
+	// Queue bulk work behind it. Each bulk job is also long: a bulk job that
+	// (correctly) starts only after the interactive job settles must still be
+	// visibly unfinished when the checks below poll it.
+	var bulkIDs []string
+	for i := int64(0); i < 4; i++ {
+		spec := simSpec("cholesky", 60000, 201+i, 16)
+		spec.Priority = PriorityBulk
+		st, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Priority != PriorityBulk {
+			t.Fatalf("bulk job echoed priority %q", st.Priority)
+		}
+		bulkIDs = append(bulkIDs, st.ID)
+	}
+	// ...then an interactive job, submitted last.
+	inter, err := cl.Submit(ctx, simSpec("cholesky", 500, 301, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Priority != PriorityInteractive {
+		t.Fatalf("sim job defaulted to priority %q, want interactive", inter.Priority)
+	}
+
+	fin, err := cl.Wait(ctx, inter.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != StatusDone {
+		t.Fatalf("interactive job ended %s: %s", fin.Status, fin.Error)
+	}
+	// The interactive job is done; every bulk job queued before it must not
+	// be (at most one can have started, after the interactive job finished).
+	for _, id := range bulkIDs {
+		st, err := cl.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == StatusDone {
+			t.Fatalf("bulk job %s finished before the later interactive job", id)
+		}
+	}
+	// Don't make the daemon drain ~3s of deliberately slow bulk work on
+	// shutdown.
+	for _, id := range bulkIDs {
+		cl.Cancel(ctx, id) //nolint:errcheck // best-effort teardown
+	}
+}
+
+// waitForStatus polls a job until it reaches want (failing on terminal
+// mismatch or timeout).
+func waitForStatus(t *testing.T, cl *Client, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := cl.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == want {
+			return
+		}
+		if terminalStatus(st.Status) || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", id, st.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Priority is scheduling metadata only: the same spec at either priority has
+// the same content address, so an interactive submission is answered from a
+// result computed for a bulk one.
+func TestPriorityExcludedFromKey(t *testing.T) {
+	bulk := simSpec("cholesky", 500, 7, 16)
+	bulk.Priority = PriorityBulk
+	inter := simSpec("cholesky", 500, 7, 16)
+	inter.Priority = PriorityInteractive
+	if err := bulk.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inter.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Key() != inter.Key() {
+		t.Fatal("priority leaked into the job key")
+	}
+
+	bad := simSpec("cholesky", 500, 7, 16)
+	bad.Priority = "urgent"
+	var apiErr *APIError
+	_, cl := startDaemon(t, Config{Workers: 1})
+	_, err := cl.Submit(context.Background(), bad)
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
+		t.Fatalf("unknown priority: got %v, want bad_request", err)
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job statuses, in lifecycle order. A job ends in exactly one of the three
@@ -65,6 +67,20 @@ type Config struct {
 	// are evicted.
 	CacheDir       string
 	CacheDiskBytes int64
+	// Auth, when set, requires a bearer token on every /v1 endpoint and
+	// maps each token to a tenant with its own fair-share weight, in-flight
+	// quota, and submission rate limit (see auth.go). Nil leaves the daemon
+	// open: every request is the unlimited default tenant.
+	Auth *AuthConfig
+	// PeerToken is the bearer token this daemon presents when calling other
+	// daemons (a dispatcher submitting to its workers). Empty sends none.
+	PeerToken string
+	// HeartbeatInterval paces fleet liveness (dispatcher mode): workers are
+	// expected to heartbeat at this interval, turn suspect after missing
+	// ~2.5 intervals and dead after ~5, and the background liveness sweep
+	// ticks at this rate (default 5s). Workers that never heartbeat (plain
+	// -join registrations) keep the probe-based health of earlier releases.
+	HeartbeatInterval time.Duration
 }
 
 // execution is the shared run state of one content-addressed job. Jobs that
@@ -174,6 +190,16 @@ type job struct {
 	coalesced bool     // attached to an identical in-flight run
 	via       []string // dispatcher chain that routed the job here (fleet)
 
+	// tenant is the submitting tenant (nil on internal sweep points); class
+	// is the scheduling priority class; seq is the scheduler-assigned
+	// arrival sequence.
+	tenant *tenantState
+	class  int
+	seq    uint64
+	// slotHeld marks that the job holds one of its tenant's in-flight
+	// quota slots; released exactly once at settle or queued-cancel.
+	slotHeld atomic.Bool
+
 	// disk records that the result was served from the persistent store
 	// at execution time. Atomic because it is set by the running worker
 	// while status endpoints may already be reading the job.
@@ -191,8 +217,17 @@ type Server struct {
 	fleet    *fleet // non-nil in dispatcher mode
 	instance string // unique per-process daemon identity (see handleHealthz)
 
-	queue chan *job
-	wg    sync.WaitGroup
+	// sched is the weighted fair-share intake between accepted submissions
+	// and the worker pool (local mode) or dispatch pump (fleet mode).
+	sched *scheduler
+	// tokens maps bearer tokens to tenants (empty = open daemon);
+	// tenantOrder is the deterministic /stats ordering; defaultTenant is
+	// the identity of unauthenticated deployments.
+	tokens        map[string]*tenantState
+	tenantOrder   []*tenantState
+	defaultTenant *tenantState
+
+	wg sync.WaitGroup
 
 	mu        sync.Mutex
 	closed    bool
@@ -209,8 +244,8 @@ type Server struct {
 	shard     ShardStats
 }
 
-// New starts a server: its workers are running on return. The only error
-// path is a Config.CacheDir that cannot be opened.
+// New starts a server: its workers are running on return. The error paths
+// are a Config.CacheDir that cannot be opened and an invalid Config.Auth.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -224,13 +259,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
 	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 5 * time.Second
+	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes),
-		queue:    make(chan *job, cfg.QueueDepth),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		instance: newInstanceID(),
+		cfg:           cfg,
+		cache:         NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		sched:         newScheduler(cfg.QueueDepth),
+		tokens:        make(map[string]*tenantState),
+		defaultTenant: newTenantState(TenantConfig{Name: DefaultTenant}),
+		jobs:          make(map[string]*job),
+		inflight:      make(map[string]*job),
+		instance:      newInstanceID(),
+	}
+	if cfg.Auth != nil {
+		if err := cfg.Auth.Validate(); err != nil {
+			return nil, err
+		}
+		for _, tc := range cfg.Auth.Tenants {
+			t := newTenantState(tc)
+			s.tokens[tc.Token] = t
+			s.tenantOrder = append(s.tenantOrder, t)
+		}
+	} else {
+		s.tenantOrder = []*tenantState{s.defaultTenant}
 	}
 	if cfg.CacheDir != "" {
 		var err error
@@ -240,20 +292,27 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs", s.protect(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.protect(s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.protect(s.handleJob))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.protect(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.protect(s.handleResult))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.protect(s.handleEvents))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.Fleet {
 		s.fleet = newFleet(s)
-		s.mux.HandleFunc("POST /v1/workers", s.fleet.handleJoin)
-		s.mux.HandleFunc("GET /v1/workers", s.fleet.handleList)
-		s.mux.HandleFunc("DELETE /v1/workers/{id}", s.fleet.handleLeave)
-		return s, nil // execution capacity lives on the workers
+		s.mux.HandleFunc("POST /v1/workers", s.protect(s.fleet.handleJoin))
+		s.mux.HandleFunc("POST /v1/workers/heartbeat", s.protect(s.fleet.handleHeartbeat))
+		s.mux.HandleFunc("GET /v1/workers", s.protect(s.fleet.handleList))
+		s.mux.HandleFunc("DELETE /v1/workers/{id}", s.protect(s.fleet.handleLeave))
+		s.mux.HandleFunc("POST /v1/workers/{id}/drain", s.protect(s.fleet.handleDrain))
+		s.mux.HandleFunc("DELETE /v1/workers/{id}/drain", s.protect(s.fleet.handleUndrain))
+		// Execution capacity lives on the workers; one pump goroutine pulls
+		// the scheduler's fair-share picks and fans them out.
+		s.wg.Add(1)
+		go s.fleet.pump()
+		return s, nil
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -261,6 +320,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Instance returns the daemon's unique per-process identity (the same value
+// /healthz reports); fleet workers send it with their heartbeats.
+func (s *Server) Instance() string { return s.instance }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -275,13 +338,17 @@ func (s *Server) Close() {
 	if s.fleet != nil {
 		close(s.fleet.stop)
 	}
-	close(s.queue)
+	s.sched.close()
 	s.wg.Wait()
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.sched.next()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
 	}
 }
@@ -398,18 +465,29 @@ func (s *Server) settle(j *job, result []byte, err error, fromDisk bool) string 
 	return status
 }
 
+// releaseSlot returns the job's tenant quota slot, exactly once.
+func (s *Server) releaseSlot(j *job) {
+	if j.tenant != nil && j.slotHeld.CompareAndSwap(true, false) {
+		j.tenant.releaseSlot()
+	}
+}
+
 // finishJob settles a primary API job, updates the terminal-state counters,
-// and re-checks the registry bound so a burst that finishes after its
-// submissions still converges to MaxJobs.
+// releases the tenant's quota slot, and re-checks the registry bound so a
+// burst that finishes after its submissions still converges to MaxJobs.
 func (s *Server) finishJob(j *job, result []byte, err error) {
 	status := s.settle(j, result, err, false)
 	if status == "" {
 		return
 	}
+	s.releaseSlot(j)
 	s.mu.Lock()
 	switch status {
 	case StatusDone:
 		s.completed++
+		if j.tenant != nil {
+			j.tenant.noteCompleted()
+		}
 	case StatusFailed:
 		s.failed++
 	case StatusCancelled:
@@ -427,6 +505,7 @@ func (s *Server) finishJobFromDisk(j *job, result []byte) {
 	if s.settle(j, result, nil, true) == "" {
 		return
 	}
+	s.releaseSlot(j)
 	j.disk.Store(true)
 	s.mu.Lock()
 	s.diskHits++
@@ -447,6 +526,10 @@ type SubmitStatus struct {
 	// Status is queued, running, or one of the terminal states: done,
 	// failed, or cancelled.
 	Status string `json:"status"`
+	// Tenant is the submitting tenant; Priority is the scheduling class
+	// (interactive or bulk).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 	// Cached reports that the result was served from the cache without
 	// re-simulating.
 	Cached bool `json:"cached"`
@@ -468,6 +551,10 @@ func (s *Server) statusOf(j *job) SubmitStatus {
 		ID: j.id, Kind: j.spec.Kind, Key: j.key,
 		Status: snap.status, Cached: j.cached || j.disk.Load(), Coalesced: j.coalesced,
 		Done: snap.done, Total: snap.total, Error: snap.errMsg,
+		Priority: j.spec.Priority,
+	}
+	if j.tenant != nil {
+		st.Tenant = j.tenant.name
 	}
 	if snap.status == StatusDone {
 		st.Result = snap.result
@@ -476,6 +563,15 @@ func (s *Server) statusOf(j *job) SubmitStatus {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := s.requestTenant(r)
+	// Submission rate limit: counted per request, before any work is done
+	// on its behalf (coalesced and cache-hit submissions are submissions
+	// too — the limit protects the daemon, not just the workers).
+	if !tenant.allowRate(time.Now()) {
+		writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+			"tenant %q exceeded its submission rate (%.3g/s)", tenant.name, tenant.ratePerSec)
+		return
+	}
 	var via []string
 	if h := r.Header.Get(DispatchPathHeader); h != "" {
 		via = strings.Split(h, ",")
@@ -485,7 +581,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				// fleet topology contains a dispatch cycle (dispatchers
 				// registered as each other's workers). Accepting it would
 				// coalesce the job with itself and hang both ends.
-				httpError(w, http.StatusBadRequest,
+				writeError(w, http.StatusBadRequest, CodeDispatchLoop,
 					"dispatch loop detected: this daemon is already in the job's dispatch path")
 				return
 			}
@@ -495,11 +591,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad job spec: %v", err)
 		return
 	}
 	if err := spec.Normalize(); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid job: %v", err)
 		return
 	}
 	key := spec.Key()
@@ -507,15 +603,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server shutting down")
 		return
 	}
-	j := &job{spec: spec, key: key, via: via}
+	j := &job{spec: spec, key: key, via: via, tenant: tenant, class: classOf(spec.Priority)}
 	if primary, ok := s.inflight[key]; ok {
 		// Identical spec already queued or running: share its execution.
+		// No quota slot: the submission occupies no worker of its own.
 		j.exec = primary.exec
 		j.coalesced = true
 		s.coalesced++
+		tenant.noteSubmitted()
 		s.register(j)
 		s.mu.Unlock()
 	} else if result, ok := s.cache.Get(key); ok {
@@ -527,36 +625,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.exec.result = result
 		j.cached = true
 		s.cacheHits++
+		tenant.noteSubmitted()
 		s.register(j)
-		s.mu.Unlock()
-	} else if s.fleet != nil {
-		j.exec = newRunnableExecution()
-		// Dispatcher mode: the job is fanned out to a remote worker by a
-		// dispatch goroutine, bounded by the fleet's slot semaphore.
-		if !s.fleet.tryAcquire() {
-			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable, "dispatch queue full (%d in flight)", s.cfg.QueueDepth)
-			return
-		}
-		s.register(j)
-		s.inflight[key] = j
-		s.wg.Add(1)
-		go s.fleet.dispatch(j)
 		s.mu.Unlock()
 	} else {
-		j.exec = newRunnableExecution()
-		// Non-blocking enqueue under the lock: either the job is queued
-		// and registered atomically, or nothing is recorded at all.
-		select {
-		case s.queue <- j:
-			s.register(j)
-			s.inflight[key] = j
+		// The job will occupy execution capacity: charge the tenant's
+		// in-flight quota, then hand it to the fair-share scheduler. The
+		// worker pool (or, in fleet mode, the dispatch pump) picks it up
+		// in weighted fair order rather than FIFO.
+		if !tenant.acquireSlot() {
 			s.mu.Unlock()
-		default:
-			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+			writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+				"tenant %q is at its in-flight job quota (%d)", tenant.name, tenant.maxInflight)
 			return
 		}
+		j.slotHeld.Store(true)
+		j.exec = newRunnableExecution()
+		if !s.sched.enqueue(j) {
+			s.releaseSlot(j)
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, CodeQueueFull,
+				"job queue full (%d pending)", s.cfg.QueueDepth)
+			return
+		}
+		// Registration happens under the same s.mu hold as the enqueue, so
+		// a worker that pops the job immediately still blocks on s.mu in
+		// settle until the job is fully recorded.
+		tenant.noteSubmitted()
+		s.register(j)
+		s.inflight[key] = j
+		s.mu.Unlock()
 	}
 
 	w.Header().Set("Content-Type", "application/json")
@@ -601,7 +699,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job %q", r.PathValue("id"))
 		return nil
 	}
 	return j
@@ -647,33 +745,108 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		e.cancel() // idempotent; running executions observe it cooperatively
 	}
 	if cancelledNow {
+		var primary *job
 		s.mu.Lock()
 		if p := s.inflight[j.key]; p != nil && p.exec == e {
 			delete(s.inflight, j.key)
+			primary = p
 		}
 		s.cancelled++
 		s.evictJobsLocked()
 		s.mu.Unlock()
+		if primary != nil {
+			// The primary never reaches finishJob (a worker popping it just
+			// skips it), so its tenant quota slot is returned here.
+			s.releaseSlot(primary)
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.statusOf(j))
 }
 
+// handleList implements GET /v1/jobs?status=&tenant=&limit=&after=: the
+// operator's queue-inspection endpoint. Jobs come back in submission order
+// with deterministic cursor pagination: `after` is a job ID and the page
+// resumes strictly after it, so walking pages while jobs settle never skips
+// or repeats a job that existed when the walk started (evicted records are
+// simply absent). Status and tenant filters apply before pagination.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	statusFilter := q.Get("status")
+	if statusFilter != "" {
+		switch statusFilter {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"unknown status filter %q", statusFilter)
+			return
+		}
+	}
+	tenantFilter := q.Get("tenant")
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	afterSeq := uint64(0)
+	if v := q.Get("after"); v != "" {
+		n, ok := jobIDSeq(v)
+		if !ok {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad cursor %q", v)
+			return
+		}
+		afterSeq = n
+	}
+
 	s.mu.Lock()
 	list := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
-		list = append(list, s.jobs[id])
+		j := s.jobs[id]
+		if n, _ := jobIDSeq(j.id); n <= afterSeq && afterSeq > 0 {
+			continue
+		}
+		if tenantFilter != "" && (j.tenant == nil || j.tenant.name != tenantFilter) {
+			continue
+		}
+		list = append(list, j)
 	}
 	s.mu.Unlock()
-	out := make([]SubmitStatus, len(list))
+
+	out := JobList{Jobs: make([]SubmitStatus, 0, limit)}
 	for i, j := range list {
-		out[i] = s.statusOf(j)
-		out[i].Result = nil // listings stay light; fetch per job
+		st := s.statusOf(j)
+		if statusFilter != "" && st.Status != statusFilter {
+			continue
+		}
+		st.Result = nil // listings stay light; fetch per job
+		out.Jobs = append(out.Jobs, st)
+		if len(out.Jobs) == limit {
+			if i < len(list)-1 {
+				out.NextAfter = j.id
+			}
+			break
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// jobIDSeq parses the numeric suffix of a job ID ("job-17" → 17).
+func jobIDSeq(id string) (uint64, bool) {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 10, 64)
+	return n, err == nil
 }
 
 // handleResult serves the raw canonical result bytes — the byte-identity
@@ -690,11 +863,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Tssd-Cached", fmt.Sprintf("%v", j.cached))
 		w.Write(snap.result)
 	case StatusFailed:
-		httpError(w, http.StatusConflict, "job failed: %s", snap.errMsg)
+		writeError(w, http.StatusConflict, CodeJobFailed, "job failed: %s", snap.errMsg)
 	case StatusCancelled:
-		httpError(w, http.StatusConflict, "job cancelled: %s", snap.errMsg)
+		writeError(w, http.StatusConflict, CodeJobCancelled, "job cancelled: %s", snap.errMsg)
 	default:
-		httpError(w, http.StatusConflict, "job is %s; result not available yet", snap.status)
+		writeError(w, http.StatusConflict, CodeNotReady, "job is %s; result not available yet", snap.status)
 	}
 }
 
@@ -708,7 +881,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -802,6 +975,13 @@ type ServerStats struct {
 	CacheHits uint64 `json:"cache_hits"`
 	DiskHits  uint64 `json:"disk_hits"`
 	Inflight  int    `json:"inflight"`
+	// Sched reports the fair-share scheduler: queue depth overall and per
+	// priority class, plus total dispatches.
+	Sched SchedStats `json:"sched"`
+	// Tenants reports per-tenant admission limits, counters, and queue
+	// depths, in configuration order — rich enough to drive an autoscaler
+	// (per-tenant backlog) or a quota dashboard.
+	Tenants []TenantStats `json:"tenants"`
 	// Shard reports sweep decomposition: how many constituent points were
 	// resolved, and how (its own conservation invariant; see ShardStats).
 	Shard ShardStats `json:"shard"`
@@ -852,6 +1032,13 @@ func (s *Server) Stats() ServerStats {
 		Shard:      s.shard,
 	}
 	s.mu.Unlock()
+	byTenant := make(map[string]*TenantStats, len(s.tenantOrder))
+	st.Tenants = make([]TenantStats, len(s.tenantOrder))
+	for i, t := range s.tenantOrder {
+		st.Tenants[i] = t.snapshot()
+		byTenant[t.name] = &st.Tenants[i]
+	}
+	st.Sched = s.sched.stats(byTenant)
 	st.Cache = s.cache.Stats()
 	if s.disk != nil {
 		d := s.disk.Stats()
@@ -887,10 +1074,4 @@ func newInstanceID() string {
 	var b [8]byte
 	rand.Read(b[:])
 	return hex.EncodeToString(b[:])
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

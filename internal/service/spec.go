@@ -57,6 +57,12 @@ type JobSpec struct {
 	Sim *SimSpec `json:"sim,omitempty"`
 	// Sweep describes an experiment-sweep job (Kind "sweep").
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Priority is the scheduling class: "interactive" (default for sim
+	// jobs) or "bulk" (default for sweep jobs). Within a tenant,
+	// interactive jobs are picked before queued bulk jobs. Scheduling
+	// metadata only — excluded from Key, so either priority addresses the
+	// same cached result.
+	Priority string `json:"priority,omitempty"`
 }
 
 // SimSpec is one deterministic simulation: a generated workload executed on
@@ -133,6 +139,9 @@ func (s *JobSpec) Normalize() error {
 		if s.Sweep != nil {
 			return fmt.Errorf("kind %q must not carry a sweep spec", s.Kind)
 		}
+		if err := s.normalizePriority(PriorityInteractive); err != nil {
+			return err
+		}
 		return s.Sim.normalize()
 	case KindSweep:
 		if s.Sweep == nil {
@@ -141,12 +150,29 @@ func (s *JobSpec) Normalize() error {
 		if s.Sim != nil {
 			return fmt.Errorf("kind %q must not carry a sim spec", s.Kind)
 		}
+		if err := s.normalizePriority(PriorityBulk); err != nil {
+			return err
+		}
 		return s.Sweep.normalize()
 	case "":
 		return fmt.Errorf("missing job kind (want %q or %q)", KindSim, KindSweep)
 	default:
 		return fmt.Errorf("unknown job kind %q (want %q or %q)", s.Kind, KindSim, KindSweep)
 	}
+}
+
+// normalizePriority fills the kind's default scheduling class and rejects
+// unknown classes. Priority never reaches Key.
+func (s *JobSpec) normalizePriority(def string) error {
+	switch s.Priority {
+	case "":
+		s.Priority = def
+	case PriorityInteractive, PriorityBulk:
+	default:
+		return fmt.Errorf("unknown priority %q (want %q or %q)",
+			s.Priority, PriorityInteractive, PriorityBulk)
+	}
+	return nil
 }
 
 func (s *SimSpec) normalize() error {

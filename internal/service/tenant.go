@@ -1,0 +1,154 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the identity every request resolves to on a daemon with
+// no auth configured: weight 1, no quota, no rate limit — the open,
+// single-tenant behavior the service had before multi-tenancy.
+const DefaultTenant = "default"
+
+// tenantState is the runtime state of one tenant: its admission limits
+// (max-in-flight quota and submission-rate token bucket) and its counters.
+// Scheduling state (per-class queues, the fair-share virtual-time tag) lives
+// in the scheduler, keyed by the same tenant; Stats joins the two views.
+//
+// tenantState's lock is a leaf: it is taken with s.mu held (admission under
+// the submit critical section) and on its own (slot release at settle), and
+// never takes another lock itself.
+type tenantState struct {
+	name        string
+	weight      int
+	maxInflight int     // 0 = unlimited
+	ratePerSec  float64 // 0 = unlimited
+	burst       float64
+
+	mu         sync.Mutex
+	tokens     float64
+	lastRefill time.Time
+	inflight   int // primary jobs currently queued or running for this tenant
+
+	submitted     uint64 // accepted submissions
+	completed     uint64 // primary jobs settled done
+	rejectedQuota uint64
+	rejectedRate  uint64
+}
+
+func newTenantState(cfg TenantConfig) *tenantState {
+	t := &tenantState{
+		name:        cfg.Name,
+		weight:      cfg.Weight,
+		maxInflight: cfg.MaxInflight,
+		ratePerSec:  cfg.RatePerSec,
+		burst:       float64(cfg.Burst),
+	}
+	if t.weight < 1 {
+		t.weight = 1
+	}
+	if t.ratePerSec > 0 && t.burst < 1 {
+		// A limited tenant can always burst at least one submission.
+		t.burst = t.ratePerSec
+		if t.burst < 1 {
+			t.burst = 1
+		}
+	}
+	t.tokens = t.burst
+	return t
+}
+
+// allowRate consumes one token from the tenant's submission-rate bucket,
+// reporting whether the submission is admitted. Unlimited tenants always
+// pass.
+func (t *tenantState) allowRate(now time.Time) bool {
+	if t.ratePerSec <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.lastRefill.IsZero() {
+		t.tokens += now.Sub(t.lastRefill).Seconds() * t.ratePerSec
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.lastRefill = now
+	if t.tokens < 1 {
+		t.rejectedRate++
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// acquireSlot claims one in-flight job slot against the tenant's quota.
+func (t *tenantState) acquireSlot() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.maxInflight > 0 && t.inflight >= t.maxInflight {
+		t.rejectedQuota++
+		return false
+	}
+	t.inflight++
+	return true
+}
+
+func (t *tenantState) releaseSlot() {
+	t.mu.Lock()
+	t.inflight--
+	t.mu.Unlock()
+}
+
+func (t *tenantState) noteSubmitted() {
+	t.mu.Lock()
+	t.submitted++
+	t.mu.Unlock()
+}
+
+func (t *tenantState) noteCompleted() {
+	t.mu.Lock()
+	t.completed++
+	t.mu.Unlock()
+}
+
+// TenantStats is one tenant's section of GET /stats: admission limits and
+// counters joined with the scheduler's per-class queue depths.
+type TenantStats struct {
+	// Name and Weight identify the tenant and its fair share.
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// Inflight is the number of primary jobs currently queued or running;
+	// MaxInflight is its quota (0 = unlimited).
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// QueuedInteractive/QueuedBulk are the tenant's scheduler queue depths
+	// by priority class; Dispatched counts scheduler picks.
+	QueuedInteractive int    `json:"queued_interactive"`
+	QueuedBulk        int    `json:"queued_bulk"`
+	Dispatched        uint64 `json:"dispatched"`
+	// Submitted counts accepted submissions; Completed counts primary jobs
+	// settled done; RejectedQuota/RejectedRate count submissions refused at
+	// admission (neither registers a job nor consumes a scheduler slot).
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	RejectedQuota uint64 `json:"rejected_quota"`
+	RejectedRate  uint64 `json:"rejected_rate"`
+}
+
+// snapshot copies the tenant's admission-side stats (the scheduler fills in
+// queue depths and dispatch counts).
+func (t *tenantState) snapshot() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TenantStats{
+		Name:          t.name,
+		Weight:        t.weight,
+		Inflight:      t.inflight,
+		MaxInflight:   t.maxInflight,
+		Submitted:     t.submitted,
+		Completed:     t.completed,
+		RejectedQuota: t.rejectedQuota,
+		RejectedRate:  t.rejectedRate,
+	}
+}

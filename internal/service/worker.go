@@ -11,30 +11,61 @@ import (
 	"time"
 )
 
-// The worker side of fleet mode: registration plumbing between a plain tssd
-// daemon (the worker) and a dispatcher (a Server with Config.Fleet set).
-// A worker needs no special build — any tssd daemon whose URL the dispatcher
-// can reach is a valid worker; joining is one POST /v1/workers carrying that
-// URL (cmd/tssd -join does it at startup, re-registering with backoff so a
-// restarted dispatcher re-learns its fleet).
+// The worker side of fleet mode: registration and lifecycle plumbing between
+// a plain tssd daemon (the worker) and a dispatcher (a Server with
+// Config.Fleet set). A worker needs no special build — any tssd daemon whose
+// URL the dispatcher can reach is a valid worker.
+//
+// Two lifecycles coexist:
+//
+//   - Join-only (POST /v1/workers, cmd/tssd -join): the original protocol.
+//     The dispatcher probes the worker at registration and marks it unhealthy
+//     on dispatch failure; a background probe returns it to the rotation.
+//   - Heartbeat (POST /v1/workers/heartbeat, cmd/tssd -join with -heartbeat):
+//     the worker reports in every HeartbeatInterval. The dispatcher ages it
+//     through a liveness state machine — healthy → suspect (missed ~2.5
+//     intervals) → dead (missed ~5) — and a beat (or successful probe)
+//     revives it. Because a heartbeat carrying an unknown URL registers the
+//     worker on the spot, a restarted dispatcher re-learns its whole fleet
+//     within one heartbeat interval with no operator action.
+//
+// Either kind of worker can be drained (POST /v1/workers/{id}/drain): it
+// stops receiving new dispatches while jobs already relayed to it finish, the
+// graceful way to take a node out for maintenance. DELETE .../drain returns
+// it to the rotation.
+
+// Worker liveness states (WorkerInfo.State).
+const (
+	WorkerHealthy = "healthy"
+	WorkerSuspect = "suspect" // missed heartbeats / failed a dispatch; not picked while healthy peers exist
+	WorkerDead    = "dead"    // missed ~5 heartbeat intervals; never picked until revived
+)
 
 // WorkerInfo is the wire form of one registered fleet worker
 // (POST/GET /v1/workers and the fleet section of /stats).
 type WorkerInfo struct {
-	// ID names the worker for DELETE /v1/workers/{id}.
+	// ID names the worker for DELETE /v1/workers/{id} and the drain
+	// endpoints.
 	ID string `json:"id"`
 	// URL is the worker daemon's base URL as registered.
 	URL string `json:"url"`
-	// Healthy is false after a dispatch to the worker failed; an unhealthy
-	// worker rejoins the rotation when a /healthz probe succeeds (or when
-	// it re-registers).
+	// State is the liveness state: healthy, suspect, or dead.
+	State string `json:"state"`
+	// Healthy reports State == healthy (kept for older clients).
 	Healthy bool `json:"healthy"`
+	// Draining reports that the worker receives no new dispatches while its
+	// running jobs finish.
+	Draining bool `json:"draining,omitempty"`
+	// Heartbeat reports that the worker uses the heartbeat lifecycle.
+	Heartbeat bool `json:"heartbeat,omitempty"`
 	// Active is the number of jobs currently dispatched to the worker.
 	Active int `json:"active"`
 	// Dispatched and Failures count dispatch attempts and worker-level
-	// failures over the worker's registration lifetime.
+	// failures over the worker's registration lifetime; Revived counts
+	// returns from the dead state.
 	Dispatched uint64 `json:"dispatched"`
 	Failures   uint64 `json:"failures"`
+	Revived    uint64 `json:"revived,omitempty"`
 }
 
 // workerNode is the dispatcher's handle on one registered worker.
@@ -44,10 +75,14 @@ type workerNode struct {
 	cl  *Client
 
 	mu         sync.Mutex
-	healthy    bool
+	state      string // WorkerHealthy, WorkerSuspect, or WorkerDead
+	draining   bool
+	beatOpted  bool      // the worker has sent at least one heartbeat
+	lastBeat   time.Time // last heartbeat or successful probe
 	active     int
 	dispatched uint64
 	failures   uint64
+	revived    uint64
 }
 
 func (w *workerNode) begin() {
@@ -65,23 +100,71 @@ func (w *workerNode) end() {
 
 func (w *workerNode) noteFailure() {
 	w.mu.Lock()
-	w.healthy = false
+	if w.state == WorkerHealthy {
+		w.state = WorkerSuspect
+	}
 	w.failures++
 	w.mu.Unlock()
 }
 
-func (w *workerNode) state() (healthy bool, active int) {
+// markAlive records direct evidence of life (a heartbeat or a successful
+// probe): the worker returns to healthy, counting a revival if it was dead.
+func (w *workerNode) markAlive(now time.Time) {
+	w.mu.Lock()
+	if w.state == WorkerDead {
+		w.revived++
+	}
+	w.state = WorkerHealthy
+	w.lastBeat = now
+	w.mu.Unlock()
+}
+
+// noteBeat is markAlive plus heartbeat-lifecycle opt-in.
+func (w *workerNode) noteBeat(now time.Time) {
+	w.mu.Lock()
+	w.beatOpted = true
+	w.mu.Unlock()
+	w.markAlive(now)
+}
+
+// age advances the liveness state machine of a heartbeat-opted worker:
+// suspect after missing ~2.5 intervals, dead after ~5. Join-only workers are
+// untouched — their health is probe- and dispatch-driven, as before
+// heartbeats existed.
+func (w *workerNode) age(now time.Time, interval time.Duration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.healthy, w.active
+	if !w.beatOpted {
+		return
+	}
+	elapsed := now.Sub(w.lastBeat)
+	switch {
+	case elapsed >= 5*interval:
+		w.state = WorkerDead
+	case elapsed >= interval*5/2:
+		if w.state == WorkerHealthy {
+			w.state = WorkerSuspect
+		}
+	}
+}
+
+// dispatchable reports whether pick may send new work: not draining and not
+// dead. (Suspect workers are dispatchable only as a probed last resort.)
+func (w *workerNode) dispatchable() (ok, healthy bool, active int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.draining && w.state != WorkerDead, w.state == WorkerHealthy, w.active
 }
 
 func (w *workerNode) info() WorkerInfo {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return WorkerInfo{
-		ID: w.id, URL: w.url, Healthy: w.healthy,
-		Active: w.active, Dispatched: w.dispatched, Failures: w.failures,
+		ID: w.id, URL: w.url,
+		State: w.state, Healthy: w.state == WorkerHealthy,
+		Draining: w.draining, Heartbeat: w.beatOpted,
+		Active: w.active, Dispatched: w.dispatched,
+		Failures: w.failures, Revived: w.revived,
 	}
 }
 
@@ -98,14 +181,14 @@ func probeHealthz(cl *Client) (string, error) {
 }
 
 // probe checks the worker's /healthz and, on success, marks the worker
-// healthy again.
+// alive — a probe is evidence of life as good as a heartbeat, so it also
+// resets the heartbeat ageing clock (otherwise a just-probed worker would be
+// re-suspected on the next liveness sweep).
 func (w *workerNode) probe() bool {
 	if _, err := probeHealthz(w.cl); err != nil {
 		return false
 	}
-	w.mu.Lock()
-	w.healthy = true
-	w.mu.Unlock()
+	w.markAlive(time.Now())
 	return true
 }
 
@@ -113,6 +196,24 @@ func (w *workerNode) probe() bool {
 type joinRequest struct {
 	// URL is the joining worker's base URL, reachable from the dispatcher.
 	URL string `json:"url"`
+}
+
+// heartbeatRequest is the body of POST /v1/workers/heartbeat.
+type heartbeatRequest struct {
+	// URL is the worker's base URL (its registration identity).
+	URL string `json:"url"`
+	// Instance is the worker daemon's /healthz instance ID, used to reject a
+	// worker that is actually this dispatcher itself.
+	Instance string `json:"instance"`
+}
+
+// parseWorkerURL validates and canonicalizes a worker's advertised base URL.
+func parseWorkerURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("worker url %q is not absolute", raw)
+	}
+	return strings.TrimRight(raw, "/"), nil
 }
 
 // handleJoin implements POST /v1/workers: register (or re-register) a worker
@@ -128,51 +229,93 @@ func (f *fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad join request: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad join request: %v", err)
 		return
 	}
-	u, err := url.Parse(req.URL)
-	if err != nil || u.Scheme == "" || u.Host == "" {
-		httpError(w, http.StatusBadRequest, "worker url %q is not absolute", req.URL)
-		return
-	}
-	base := strings.TrimRight(req.URL, "/")
-
-	instance, err := probeHealthz(NewClient(base))
+	base, err := parseWorkerURL(req.URL)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "worker at %s is unreachable: %v", base, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	instance, err := probeHealthz(f.workerClient(base))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "worker at %s is unreachable: %v", base, err)
 		return
 	}
 	if instance == f.s.instance {
-		httpError(w, http.StatusBadRequest, "worker url %s reaches this dispatcher itself; a dispatcher cannot be its own worker", base)
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"worker url %s reaches this dispatcher itself; a dispatcher cannot be its own worker", base)
 		return
 	}
 
+	n, created := f.register(base)
+	n.markAlive(time.Now())
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(n.info())
+}
+
+// handleHeartbeat implements POST /v1/workers/heartbeat. A beat from a known
+// URL refreshes its liveness (reviving a dead worker); a beat from an unknown
+// URL registers the worker on the spot — the beat itself is the liveness
+// proof, no probe needed — which is what lets a restarted dispatcher re-learn
+// its fleet within one heartbeat interval.
+func (f *fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	base, err := parseWorkerURL(req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if req.Instance == f.s.instance {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"worker url %s is this dispatcher itself; a dispatcher cannot be its own worker", base)
+		return
+	}
+
+	n, created := f.register(base)
+	n.noteBeat(time.Now())
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(n.info())
+}
+
+// workerClient builds the dispatcher's client for one worker, presenting the
+// daemon's peer token when configured.
+func (f *fleet) workerClient(base string) *Client {
+	return NewClient(base, WithToken(f.s.cfg.PeerToken), WithUserAgent("tssd-dispatcher/1"))
+}
+
+// register finds or creates the node for a worker URL; it reports whether the
+// node was newly created.
+func (f *fleet) register(base string) (*workerNode, bool) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, n := range f.workers {
 		if n.url == base {
-			f.mu.Unlock()
-			n.mu.Lock()
-			n.healthy = true
-			n.mu.Unlock()
-			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(n.info())
-			return
+			return n, false
 		}
 	}
 	f.nextID++
 	n := &workerNode{
-		id:      fmt.Sprintf("worker-%d", f.nextID),
-		url:     base,
-		cl:      NewClient(base),
-		healthy: true,
+		id:    fmt.Sprintf("worker-%d", f.nextID),
+		url:   base,
+		cl:    f.workerClient(base),
+		state: WorkerHealthy,
 	}
 	f.workers = append(f.workers, n)
-	f.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(n.info())
+	return n, true
 }
 
 // handleList implements GET /v1/workers.
@@ -197,15 +340,58 @@ func (f *fleet) handleLeave(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	f.mu.Unlock()
-	httpError(w, http.StatusNotFound, "no such worker %q", id)
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such worker %q", id)
+}
+
+// lookupWorker resolves {id} for the drain endpoints.
+func (f *fleet) lookupWorker(w http.ResponseWriter, r *http.Request) *workerNode {
+	id := r.PathValue("id")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.workers {
+		if n.id == id {
+			return n
+		}
+	}
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such worker %q", id)
+	return nil
+}
+
+// handleDrain implements POST /v1/workers/{id}/drain: stop dispatching new
+// jobs to the worker while jobs already relayed to it run to completion —
+// the graceful way to take a node out for maintenance. Idempotent.
+func (f *fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
+	n := f.lookupWorker(w, r)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.draining = true
+	n.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.info())
+}
+
+// handleUndrain implements DELETE /v1/workers/{id}/drain: return a drained
+// worker to the dispatch rotation. Idempotent.
+func (f *fleet) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	n := f.lookupWorker(w, r)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.draining = false
+	n.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.info())
 }
 
 // JoinFleet registers the worker daemon reachable at advertiseURL with the
 // fleet dispatcher at dispatcherURL, retrying with backoff until it succeeds
 // or ctx ends. It returns the assigned worker ID. cmd/tssd -join calls this
-// at startup.
-func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string) (string, error) {
-	cl := NewClient(dispatcherURL)
+// at startup; opts typically carry WithToken for an authenticated dispatcher.
+func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string, opts ...ClientOption) (string, error) {
+	cl := NewClient(dispatcherURL, opts...)
 	backoff := time.Second
 	for {
 		info, err := cl.JoinWorker(ctx, advertiseURL)
@@ -223,28 +409,70 @@ func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string) (string,
 	}
 }
 
+// HeartbeatLoop reports the worker at advertiseURL (whose daemon instance ID
+// is instance — see Server.Instance) to the dispatcher every interval, until
+// ctx ends. Beats are best-effort: a missed beat costs nothing but liveness
+// credit, and because an unknown URL registers on contact, the loop doubles
+// as re-registration — a restarted dispatcher re-learns this worker on the
+// next beat. cmd/tssd runs this when started with -join and a heartbeat
+// interval.
+func HeartbeatLoop(ctx context.Context, dispatcherURL, advertiseURL, instance string, interval time.Duration, opts ...ClientOption) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	cl := NewClient(dispatcherURL, opts...)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		bctx, cancel := context.WithTimeout(ctx, interval)
+		cl.Heartbeat(bctx, advertiseURL, instance)
+		cancel()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
 // JoinWorker registers workerURL with the dispatcher this client points at
 // (POST /v1/workers) and returns the registration record.
 func (c *Client) JoinWorker(ctx context.Context, workerURL string) (*WorkerInfo, error) {
-	body, err := json.Marshal(joinRequest{URL: workerURL})
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/workers", strings.NewReader(string(body)))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		return nil, apiError(resp)
-	}
-	defer resp.Body.Close()
 	var info WorkerInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/workers", joinRequest{URL: workerURL}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Heartbeat reports the worker at workerURL alive to the dispatcher
+// (POST /v1/workers/heartbeat), registering it if unknown.
+func (c *Client) Heartbeat(ctx context.Context, workerURL, instance string) (*WorkerInfo, error) {
+	var info WorkerInfo
+	err := c.doJSON(ctx, http.MethodPost, "/v1/workers/heartbeat",
+		heartbeatRequest{URL: workerURL, Instance: instance}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DrainWorker takes a worker out of the dispatch rotation gracefully
+// (POST /v1/workers/{id}/drain): running jobs finish, new dispatches go
+// elsewhere.
+func (c *Client) DrainWorker(ctx context.Context, id string) (*WorkerInfo, error) {
+	var info WorkerInfo
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/workers/"+id+"/drain", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// UndrainWorker returns a drained worker to the dispatch rotation
+// (DELETE /v1/workers/{id}/drain).
+func (c *Client) UndrainWorker(ctx context.Context, id string) (*WorkerInfo, error) {
+	var info WorkerInfo
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/workers/"+id+"/drain", nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
