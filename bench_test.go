@@ -221,6 +221,10 @@ func BenchmarkAblationHeterogeneous(b *testing.B) {
 // shared with `tsbench -benchjson` via internal/benchsuite.
 func BenchmarkFrontendDecode(b *testing.B) { benchsuite.FrontendDecode(b) }
 
+// BenchmarkFrontendDecodeSharded is the same decode run on the sharded
+// engine (4 shards) — the parallel-engine trajectory in BENCH_engine.json.
+func BenchmarkFrontendDecodeSharded(b *testing.B) { benchsuite.FrontendDecodeSharded(b) }
+
 // BenchmarkSoftwareRuntime measures the software-baseline path.
 func BenchmarkSoftwareRuntime(b *testing.B) {
 	build := workloads.Cholesky(2000, 42)

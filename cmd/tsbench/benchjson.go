@@ -71,11 +71,12 @@ func point(r testing.BenchmarkResult) benchPoint {
 // changed); an empty note records just the date and Go version.
 func runBenchJSON(path, note string) error {
 	results := map[string]benchPoint{
-		"engine_schedule_fire":  point(testing.Benchmark(benchsuite.EngineScheduleFire)),
-		"engine_schedule_pop":   point(testing.Benchmark(benchsuite.EngineSchedulePop)),
-		"engine_mixed_horizons": point(testing.Benchmark(benchsuite.EngineMixedHorizons)),
-		"server_pipeline":       point(testing.Benchmark(benchsuite.ServerPipeline)),
-		"frontend_decode":       point(testing.Benchmark(benchsuite.FrontendDecode)),
+		"engine_schedule_fire":   point(testing.Benchmark(benchsuite.EngineScheduleFire)),
+		"engine_schedule_pop":    point(testing.Benchmark(benchsuite.EngineSchedulePop)),
+		"engine_mixed_horizons":  point(testing.Benchmark(benchsuite.EngineMixedHorizons)),
+		"server_pipeline":        point(testing.Benchmark(benchsuite.ServerPipeline)),
+		"frontend_decode":        point(testing.Benchmark(benchsuite.FrontendDecode)),
+		"frontend_decode_shard4": point(testing.Benchmark(benchsuite.FrontendDecodeSharded)),
 	}
 
 	current := &benchSnapshot{

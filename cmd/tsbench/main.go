@@ -57,6 +57,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload generation seed")
 		cores     = flag.Int("cores", 256, "largest machine size")
 		workers   = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
+		shards    = flag.Int("shards", 1, "engine shards per simulation (results are identical at any count)")
 		jsonOut   = flag.String("json", "", "also write every sweep point to this file as JSON")
 		benchJS   = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
 		benchNote = flag.String("benchnote", "", "label for the -benchjson snapshot (set when the measured code changed)")
@@ -89,7 +90,7 @@ func main() {
 	}
 	opts := experiments.Options{
 		Quick: !*full, Seed: *seed, Cores: *cores,
-		Workers: *workers, Sink: sink,
+		Workers: *workers, Shards: *shards, Sink: sink,
 	}
 	var ids []string
 	if *expID == "all" {

@@ -53,6 +53,7 @@ func main() {
 		trsKB    = flag.Int("trskb", 768, "eDRAM per TRS (KB)")
 		ortKB    = flag.Int("ortkb", 256, "eDRAM per ORT (KB)")
 		memory   = flag.Bool("memory", false, "model the full memory hierarchy")
+		shards   = flag.Int("shards", 1, "engine shards for in-run parallelism (results are identical at any count)")
 		saveTo   = flag.String("save", "", "write the generated task trace to this file and exit (.json for JSON)")
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
 		stream   = flag.Bool("stream", false, "generate tasks lazily and run via the streaming frontend path")
@@ -71,6 +72,7 @@ func main() {
 			"stream": "-remote submits recorded workloads only",
 			"save":   "-remote does not materialize a local trace",
 			"load":   "-remote regenerates the workload on the daemon",
+			"shards": "-remote runs use the daemon's engine configuration",
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if why, ok := conflicts[f.Name]; ok {
@@ -98,7 +100,7 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runStreaming(*tasks, *seed, *cores, *numTRS, *numORT, *trsKB, *ortKB, *runtime)
+		runStreaming(*tasks, *seed, *cores, *numTRS, *numORT, *trsKB, *ortKB, *runtime, *shards)
 		return
 	}
 
@@ -159,6 +161,7 @@ func main() {
 
 	cfg := tss.DefaultConfig().WithCores(*cores)
 	cfg.Memory = *memory
+	cfg.Shards = *shards
 	cfg.Frontend.NumTRS = *numTRS
 	cfg.Frontend.NumORT = *numORT
 	cfg.Frontend.TRSBytesEach = uint64(*trsKB) << 10
@@ -308,9 +311,10 @@ func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind 
 
 // runStreaming drives the lazily generated CPI stream through the
 // streaming frontend path and reports the run with memory statistics.
-func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int, runtimeKind string) {
+func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int, runtimeKind string, shards int) {
 	cfg := tss.DefaultConfig().WithCores(cores)
 	cfg.Memory = false
+	cfg.Shards = shards
 	cfg.Frontend.NumTRS = numTRS
 	cfg.Frontend.NumORT = numORT
 	cfg.Frontend.TRSBytesEach = uint64(trsKB) << 10

@@ -106,6 +106,7 @@ func newTRS(fe *Frontend, index int) *trsModule {
 	t.sramHeads = sramFreeListHeads
 	t.slab = append(t.slab, make([]taskRec, trsSlabChunk))
 	t.srv = sim.NewServer[any](fe.eng, "trs", t.handle)
+	t.srv.SetShardKey(1 + uint32(index))
 	return t
 }
 

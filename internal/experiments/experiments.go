@@ -40,6 +40,10 @@ type Options struct {
 	// Workers bounds the sweep worker pool: 0 uses GOMAXPROCS, 1 runs
 	// the sweep serially. Results are identical at every width.
 	Workers int
+	// Shards runs every constituent simulation on the sharded engine
+	// (tss.Config.Shards). Like Workers it is an observer: results are
+	// identical at every shard count.
+	Shards int
 	// Sink, when non-nil, additionally collects every aggregated sweep
 	// point for machine-readable (JSON) output.
 	Sink *Sink
@@ -174,6 +178,7 @@ func runHW(b *workloads.Build, cfg tss.Config) (*tss.Result, error) {
 // the figure is computable from the result alone and both execution paths
 // produce bit-identical numbers.
 func benchRun(o Options, wl workloads.Info, budget int, seed int64, cfg tss.Config) (*tss.Result, float64, error) {
+	cfg.Shards = o.Shards
 	job := SimJob{Workload: wl, Tasks: budget, Seed: seed, Config: cfg}
 	var res *tss.Result
 	var err error

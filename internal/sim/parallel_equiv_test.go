@@ -1,0 +1,141 @@
+// Package sim_test holds the workload-level differential equivalence suite
+// for the sharded engine: every recorded workload (and the streaming CPI
+// generator) is run serial and at several shard counts through the full tss
+// machine, and the complete results — makespan, per-task schedules, every
+// statistics block — must be byte-identical. The external test package
+// exists so this file can import tss (which itself imports internal/sim)
+// without a cycle.
+package sim_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
+)
+
+// shardCounts are the parallel configurations diffed against serial. 1 is
+// the reference itself; the rest cover even, power-of-two, and odd counts.
+var shardCounts = []int{2, 4, 8}
+
+// resultBytes renders a full result for byte comparison. JSON covers every
+// exported field (including the Start/Finish schedules and the stats
+// blocks); reflect.DeepEqual in the caller additionally covers anything
+// JSON would miss.
+func resultBytes(t *testing.T, r *tss.Result) []byte {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return raw
+}
+
+func diffResults(t *testing.T, label string, want, got *tss.Result) {
+	t.Helper()
+	wb, gb := resultBytes(t, want), resultBytes(t, got)
+	if string(wb) != string(gb) {
+		t.Fatalf("%s: sharded result differs from serial\nserial: %s\nsharded: %s", label, wb, gb)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: results not deeply equal despite identical encodings", label)
+	}
+}
+
+// TestWorkloadEquivalenceAllShardCounts runs every recorded workload on the
+// hardware pipeline, serial vs sharded, and byte-compares the results.
+func TestWorkloadEquivalenceAllShardCounts(t *testing.T) {
+	for _, wl := range workloads.All() {
+		b := wl.Gen(500, 11)
+		cfg := tss.DefaultConfig().WithCores(32)
+		cfg.Memory = false
+		want, err := tss.RunTasks(b.Tasks, cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", wl.Name, err)
+		}
+		for _, n := range shardCounts {
+			cfg.Shards = n
+			got, err := tss.RunTasks(wl.Gen(500, 11).Tasks, cfg)
+			if err != nil {
+				t.Fatalf("%s shards %d: %v", wl.Name, n, err)
+			}
+			diffResults(t, fmt.Sprintf("%s shards %d", wl.Name, n), want, got)
+		}
+	}
+}
+
+// TestWorkloadEquivalenceMemorySystem repeats the diff with the coherent
+// memory hierarchy enabled (bank events, DMA bursts and writebacks all
+// cross shards).
+func TestWorkloadEquivalenceMemorySystem(t *testing.T) {
+	for _, name := range []string{"cholesky", "h264"} {
+		wl, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		b := wl.Gen(400, 3)
+		cfg := tss.DefaultConfig().WithCores(32)
+		cfg.Memory = true
+		want, err := tss.RunTasks(b.Tasks, cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, n := range shardCounts {
+			cfg.Shards = n
+			got, err := tss.RunTasks(wl.Gen(400, 3).Tasks, cfg)
+			if err != nil {
+				t.Fatalf("%s shards %d: %v", name, n, err)
+			}
+			diffResults(t, fmt.Sprintf("%s+mem shards %d", name, n), want, got)
+		}
+	}
+}
+
+// TestWorkloadEquivalenceRuntimes covers the software-runtime and
+// sequential execution paths, which drive the same engine through
+// different module graphs.
+func TestWorkloadEquivalenceRuntimes(t *testing.T) {
+	wl, _ := workloads.ByName("fft")
+	for _, kind := range []tss.RuntimeKind{tss.SoftwareRuntime, tss.Sequential} {
+		b := wl.Gen(400, 5)
+		cfg := tss.DefaultConfig().WithCores(16)
+		cfg.Memory = false
+		cfg.Runtime = kind
+		want, err := tss.RunTasks(b.Tasks, cfg)
+		if err != nil {
+			t.Fatalf("%v serial: %v", kind, err)
+		}
+		for _, n := range shardCounts {
+			cfg.Shards = n
+			got, err := tss.RunTasks(wl.Gen(400, 5).Tasks, cfg)
+			if err != nil {
+				t.Fatalf("%v shards %d: %v", kind, n, err)
+			}
+			diffResults(t, fmt.Sprintf("%v shards %d", kind, n), want, got)
+		}
+	}
+}
+
+// TestCPIStreamEquivalence diffs the lazily generated streaming path: the
+// generator is pulled task by task with the gateway's buffer as
+// back-pressure, so decode, generation, and execution interleave — the
+// hardest schedule to reproduce.
+func TestCPIStreamEquivalence(t *testing.T) {
+	cfg := tss.DefaultConfig().WithCores(16)
+	cfg.Memory = false
+	want, err := tss.RunStream(workloads.NewCPIStream(600, 21), cfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, n := range shardCounts {
+		cfg.Shards = n
+		got, err := tss.RunStream(workloads.NewCPIStream(600, 21), cfg)
+		if err != nil {
+			t.Fatalf("shards %d: %v", n, err)
+		}
+		diffResults(t, fmt.Sprintf("cpistream shards %d", n), want, got)
+	}
+}

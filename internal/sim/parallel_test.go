@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// --- deterministic random event cascades -------------------------------
+//
+// The cascade is a self-scheduling event graph: every fired event logs
+// (cycle, id) and schedules a pseudo-random number of children at
+// pseudo-random delays, mixing closures, typed events, shard-hinted typed
+// events, and pooled deliveries. The generator is seeded, so serial and
+// sharded engines receive bit-identical workloads; the logged trace is the
+// engine's observable total order.
+
+type traceRec struct {
+	at Cycle
+	id uint64
+}
+
+type cascade struct {
+	e      *Engine
+	rng    uint64
+	budget int
+	nextID uint64
+	trace  []traceRec
+	sink   *Server[any]
+}
+
+func (c *cascade) rand() uint64 {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	return c.rng >> 33
+}
+
+var cascadeDelays = [...]Cycle{0, 0, 1, 2, 3, 16, 22, 37, 100, 640, 999, 4095, 4097, 70_000, 250_000}
+
+// hintedEvent is a typed event with a shard-affinity key, standing in for
+// a module-owned pooled event.
+type hintedEvent struct {
+	c   *cascade
+	id  uint64
+	key uint32
+}
+
+func (h *hintedEvent) Fire()            { h.c.fire(h.id) }
+func (h *hintedEvent) ShardKey() uint32 { return h.key }
+
+func (c *cascade) fire(id uint64) {
+	c.trace = append(c.trace, traceRec{at: c.e.Now(), id: id})
+	kids := int(c.rand() % 4)
+	for k := 0; k < kids && c.budget > 0; k++ {
+		c.budget--
+		c.spawn()
+	}
+}
+
+func (c *cascade) spawn() {
+	id := c.nextID
+	c.nextID++
+	delay := cascadeDelays[c.rand()%uint64(len(cascadeDelays))]
+	switch c.rand() % 4 {
+	case 0:
+		c.e.Schedule(delay, func() { c.fire(id) })
+	case 1:
+		c.e.ScheduleAt(c.e.Now()+delay, func() { c.fire(id) })
+	case 2:
+		c.e.ScheduleEvent(delay, &hintedEvent{c: c, id: id, key: uint32(id % 7)})
+	case 3:
+		c.e.ScheduleDeliver(delay, c.sink, id)
+	}
+}
+
+// runCascade executes one seeded cascade on a fresh engine and returns its
+// trace plus final clock and fire count.
+func runCascade(seed uint64, budget, shards int, window Cycle) ([]traceRec, Cycle, uint64) {
+	e := NewEngine()
+	if shards > 1 {
+		e.SetShards(shards, window)
+	}
+	c := &cascade{e: e, rng: seed, budget: budget}
+	c.sink = NewServer(e, "sink", func(m any) Cycle {
+		c.fire(m.(uint64))
+		return Cycle(c.rand() % 40)
+	})
+	for i := 0; i < 8; i++ {
+		c.budget--
+		c.spawn()
+	}
+	end := e.Run()
+	return c.trace, end, e.Fired()
+}
+
+// TestShardedTraceEquivalence is the engine-level differential harness:
+// for a spread of seeds, every shard count and window size must reproduce
+// the serial fire trace record for record — same events, same cycles, same
+// order.
+func TestShardedTraceEquivalence(t *testing.T) {
+	type combo struct {
+		shards int
+		window Cycle
+	}
+	combos := []combo{{2, 0}, {4, 0}, {8, 0}, {2, 1}, {4, 64}, {8, 4096}, {3, 17}}
+	for _, seed := range []uint64{1, 7, 42, 0xdeadbeef} {
+		want, wantEnd, wantFired := runCascade(seed, 3000, 1, 0)
+		if len(want) == 0 {
+			t.Fatalf("seed %d produced an empty serial trace", seed)
+		}
+		for _, cb := range combos {
+			got, end, fired := runCascade(seed, 3000, cb.shards, cb.window)
+			if end != wantEnd || fired != wantFired {
+				t.Fatalf("seed %d shards %d window %d: end %d fired %d, serial end %d fired %d",
+					seed, cb.shards, cb.window, end, fired, wantEnd, wantFired)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d shards %d window %d: trace length %d, serial %d",
+					seed, cb.shards, cb.window, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shards %d window %d: trace[%d] = %+v, serial %+v",
+						seed, cb.shards, cb.window, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPendingExact keeps Pending honest across the staged paths: a
+// handler that probes mid-run must see the true pending count, and a
+// completed run must report zero.
+func TestShardedPendingExact(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(4, 16)
+	var probes []int
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(i*100), func() {
+			probes = append(probes, e.Pending())
+			e.Schedule(5000, func() {})
+		})
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after sharded run = %d, want 0", got)
+	}
+	// Each probe sees the not-yet-fired initial events plus the long-delay
+	// events scheduled by earlier probes.
+	for i, p := range probes {
+		if want := (10 - 1 - i) + i; p != want {
+			t.Fatalf("probe %d saw Pending %d, want %d", i, p, want)
+		}
+	}
+}
+
+// TestShardedRunEmpty covers the degenerate run: no events at all must
+// terminate immediately and leak nothing.
+func TestShardedRunEmpty(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(8, 0)
+	if end := e.Run(); end != 0 {
+		t.Fatalf("empty sharded run ended at %d", end)
+	}
+}
+
+// TestShardedRunUntilInterleave checks that the serial RunUntil walk and
+// sharded full runs compose: shards hold no events between runs, so
+// switching entry points cannot lose or reorder work.
+func TestShardedRunUntilInterleave(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(4, 32)
+	var fired []Cycle
+	for _, d := range []Cycle{10, 2000, 90_000} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run()
+	e.Schedule(50, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(e.Now() + 40) // does not reach it
+	e.Run()                  // sharded run picks it up
+	want := []Cycle{10, 2000, 90_000, 90_050}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// goroutinesSettle polls until the goroutine count returns to base (the
+// runtime may briefly keep exited goroutines visible).
+func goroutinesSettle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d, base %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedGoroutineLifecycle pins the leak contract: shard workers are
+// spawned by Run and joined before it returns — completed, empty, and
+// repeated runs all leave the engine goroutine-free.
+func TestShardedGoroutineLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		_, _, _ = runCascade(uint64(i+1), 500, 8, 0)
+	}
+	e := NewEngine()
+	e.SetShards(4, 0)
+	e.Run() // empty
+	e.Schedule(10, func() {})
+	e.Run()
+	goroutinesSettle(t, base)
+}
+
+// TestShardedCancelJoinsShards drives RunContext cancellation on the
+// sharded engine: the run must stop within one poll interval of simulated
+// time, return the context error, and join every shard goroutine — no
+// deadlock at the window barrier, no leaked workers.
+func TestShardedCancelJoinsShards(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := NewEngine()
+	e.SetShards(8, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelledAt Cycle
+	var after int
+	var tick func()
+	tick = func() {
+		if e.Now() >= 10_000 && cancelledAt == 0 {
+			cancelledAt = e.Now()
+			cancel()
+		}
+		if cancelledAt != 0 {
+			after++
+		}
+		e.Schedule(10, tick)
+	}
+	e.Schedule(0, tick)
+	const poll = 512
+	end, err := e.RunContext(ctx, poll)
+	if err == nil {
+		t.Fatal("cancelled sharded run returned no error")
+	}
+	if cancelledAt == 0 {
+		t.Fatal("cancel point never reached")
+	}
+	if end < cancelledAt || end > cancelledAt+poll {
+		t.Fatalf("stopped at %d, cancel at %d, poll %d: not within one interval", end, cancelledAt, poll)
+	}
+	goroutinesSettle(t, base)
+
+	// Pre-cancelled: returns before spawning anything.
+	e2 := NewEngine()
+	e2.SetShards(4, 0)
+	e2.Schedule(5, func() {})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := e2.RunContext(ctx2, 0); err == nil {
+		t.Fatal("pre-cancelled sharded run returned no error")
+	}
+	goroutinesSettle(t, base)
+}
+
+// TestShardedUncancelledMatchesSerial mirrors the serial RunContext
+// contract on the sharded path: polling is observational.
+func TestShardedUncancelledMatchesSerial(t *testing.T) {
+	want, wantEnd, _ := runCascade(99, 2000, 1, 0)
+	e := NewEngine()
+	e.SetShards(4, 0)
+	c := &cascade{e: e, rng: 99, budget: 2000}
+	c.sink = NewServer(e, "sink", func(m any) Cycle {
+		c.fire(m.(uint64))
+		return Cycle(c.rand() % 40)
+	})
+	for i := 0; i < 8; i++ {
+		c.budget--
+		c.spawn()
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	end, err := e.RunContext(ctx, 100) // aggressive polling
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != wantEnd || len(c.trace) != len(want) {
+		t.Fatalf("ctx sharded run end %d/%d events, serial %d/%d", end, len(c.trace), wantEnd, len(want))
+	}
+	for i := range want {
+		if c.trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %+v, serial %+v", i, c.trace[i], want[i])
+		}
+	}
+}
+
+// TestShardedSteadyStateAllocBudget bounds what a warm sharded engine
+// allocates per Run: the queues, outboxes, batches, and channels are all
+// reused, so the only per-run cost is spawning the shard goroutines. The
+// budget is deliberately per-shard so a structural regression (a buffer
+// rebuilt per window, a cell escaping to the heap) trips it immediately.
+func TestShardedSteadyStateAllocBudget(t *testing.T) {
+	const shards = 4
+	e := NewEngine()
+	e.SetShards(shards, 64)
+	var rng uint64 = 12345
+	iter := func() {
+		// A fixed mixed-horizon burst, re-seeded each run.
+		rng = 12345
+		for i := 0; i < 400; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			e.Schedule(cascadeDelays[(rng>>33)%uint64(len(cascadeDelays))], nop)
+		}
+		e.Run()
+	}
+	for i := 0; i < 5; i++ {
+		iter() // warm queues, buffers, goroutine stacks
+	}
+	avg := testing.AllocsPerRun(50, iter)
+	perShard := avg / shards
+	if perShard > 8 {
+		t.Fatalf("sharded run allocates %.1f per run (%.2f per shard), budget 8/shard", avg, perShard)
+	}
+}
+
+var nop = func() {}

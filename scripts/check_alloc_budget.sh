@@ -20,24 +20,36 @@ cd "$(dirname "$0")/.."
 bench=${1:-BENCH_engine.json}
 budget_file=docs/goldens/alloc_budget.txt
 
-ceiling=$(grep -v '^#' "$budget_file" | head -1 | tr -d '[:space:]')
-actual=$(python3 - "$bench" <<'EOF'
+# The budget file commits one ceiling per line: serial decode first, then
+# the sharded (4-shard) decode, whose figure additionally carries the
+# shard machinery (queues, outboxes, per-run goroutine spawns) amortized
+# over the reference workload.
+ceiling=$(grep -v '^#' "$budget_file" | sed -n 1p | tr -d '[:space:]')
+shard_ceiling=$(grep -v '^#' "$budget_file" | sed -n 2p | tr -d '[:space:]')
+
+gate() { # gate <bench-key> <ceiling>
+  local key=$1 limit=$2
+  local actual
+  actual=$(python3 - "$bench" "$key" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
-print(data["current"]["results"]["frontend_decode"]["allocs_per_task"])
+print(data["current"]["results"][sys.argv[2]]["allocs_per_task"])
 EOF
-)
-
-echo "frontend_decode: ${actual} allocs/task (ceiling ${ceiling})"
-python3 - "$actual" "$ceiling" <<'EOF'
+  )
+  echo "$key: ${actual} allocs/task (ceiling ${limit})"
+  python3 - "$actual" "$limit" "$key" <<'EOF'
 import sys
 actual, ceiling = float(sys.argv[1]), float(sys.argv[2])
 if actual > ceiling:
-    print(f"FAIL: frontend_decode allocates {actual} times per simulated task, "
+    print(f"FAIL: {sys.argv[3]} allocates {actual} times per simulated task, "
           f"over the committed ceiling of {ceiling}.", file=sys.stderr)
     print("If this increase is intentional, raise docs/goldens/alloc_budget.txt "
           "and justify it in the PR description.", file=sys.stderr)
     sys.exit(1)
 EOF
+}
+
+gate frontend_decode "$ceiling"
+gate frontend_decode_shard4 "$shard_ceiling"
 echo "allocation budget OK"

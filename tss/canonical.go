@@ -24,9 +24,9 @@ const SimVersion = "tss-sim/2"
 // (and the Fingerprint derived from it) is the cache key used by the tssd
 // daemon's result cache.
 //
-// Function-valued fields (OnComplete hooks) and the cancellation-poll
-// granularity (CancelCheckCycles) are observers, not machine state, and are
-// excluded.
+// Function-valued fields (OnComplete hooks), the cancellation-poll
+// granularity (CancelCheckCycles), and the engine shard count (Shards) are
+// observers, not machine state, and are excluded.
 func (c Config) CanonicalString() string {
 	var b strings.Builder
 	w := func(key string, v any) { fmt.Fprintf(&b, "%s=%v\n", key, v) }

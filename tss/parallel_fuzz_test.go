@@ -1,0 +1,139 @@
+package tss
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// fuzzGraph builds a seeded random task graph. The shape knobs map to the
+// dependency patterns that stress the sharded engine differently:
+//
+//   - chainDepth: how many tasks alternately write and read the same
+//     objects, forming serial dependency chains (tight cross-module,
+//     cross-shard timing);
+//   - fanout: how many readers each producer feeds (one commit waking many
+//     staged events at once);
+//   - memMix: the blend of In/Out/InOut operands (renaming vs true
+//     dependencies vs versioned writes).
+//
+// The generator is a pure function of its arguments, so serial and sharded
+// runs receive bit-identical streams.
+func fuzzGraph(seed uint64, n int, chainDepth, fanout, memMix uint8) []*taskmodel.Task {
+	rng := seed | 1
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	var reg taskmodel.Registry
+	kid := reg.Register("fuzz_kernel")
+
+	// A fixed object set, each with a fixed size — as in the real workload
+	// generators, where an object is one matrix block or frame buffer.
+	nobj := 2 + int(chainDepth)%16 + int(fanout)%16
+	objs := make([]taskmodel.Addr, nobj)
+	sizes := make([]uint32, nobj)
+	alloc := taskmodel.NewAllocator(0x2000_0000)
+	for i := range objs {
+		sizes[i] = uint32(256 + next()%4096)
+		objs[i] = alloc.Alloc(sizes[i])
+	}
+
+	tasks := make([]*taskmodel.Task, 0, n)
+	for i := 0; i < n; i++ {
+		nops := 1 + int(next()%4)
+		if nops > nobj {
+			nops = nobj
+		}
+		ops := make([]taskmodel.Operand, 0, nops)
+		used := make(map[int]bool, nops)
+		for k := 0; k < nops; k++ {
+			var dir taskmodel.Dir
+			switch (next() + uint64(memMix)) % 5 {
+			case 0, 1:
+				dir = taskmodel.In
+			case 2:
+				dir = taskmodel.Out
+			case 3:
+				dir = taskmodel.InOut
+			default:
+				dir = taskmodel.Scalar
+			}
+			if dir == taskmodel.Scalar {
+				ops = append(ops, taskmodel.Operand{Size: 8, Dir: taskmodel.Scalar})
+				continue
+			}
+			// Chain tasks onto a small object set so writers and readers
+			// collide; fanout widens the reader side by biasing reads onto
+			// object 0. Operand objects are distinct within a task, as the
+			// programming model requires.
+			oi := int(next()) % nobj
+			if dir == taskmodel.In && fanout > 0 && next()%4 == 0 {
+				oi = 0
+			}
+			for used[oi] {
+				oi = (oi + 1) % nobj
+			}
+			used[oi] = true
+			ops = append(ops, taskmodel.Operand{
+				Base: objs[oi],
+				Size: sizes[oi],
+				Dir:  dir,
+			})
+		}
+		tasks = append(tasks, &taskmodel.Task{
+			Kernel:   kid,
+			Operands: ops,
+			Runtime:  100 + next()%5000,
+			Seq:      uint64(i),
+		})
+	}
+	return tasks
+}
+
+// FuzzParallelEquivalence is the randomized differential harness for the
+// sharded engine: every generated task graph is executed serially and on a
+// fuzzer-chosen shard count, and the complete results must be
+// byte-identical — plus the configs must share a Fingerprint, pinning
+// Shards as an observer field.
+func FuzzParallelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(120), uint8(8), uint8(4), uint8(2), uint8(4), false)
+	f.Add(uint64(42), uint16(200), uint8(1), uint8(12), uint8(0), uint8(2), false)
+	f.Add(uint64(0xfeed), uint16(80), uint8(15), uint8(0), uint8(4), uint8(8), true)
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, chainDepth, fanout, memMix, shards uint8, memory bool) {
+		tasks := int(n)%256 + 8
+		nshards := 2 + int(shards)%7 // 2..8
+
+		cfg := DefaultConfig().WithCores(16)
+		cfg.Memory = memory
+
+		want, err := RunTasks(fuzzGraph(seed, tasks, chainDepth, fanout, memMix), cfg)
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+
+		sharded := cfg
+		sharded.Shards = nshards
+		if sharded.Fingerprint() != cfg.Fingerprint() {
+			t.Fatalf("Shards=%d changed the config fingerprint", nshards)
+		}
+		got, err := RunTasks(fuzzGraph(seed, tasks, chainDepth, fanout, memMix), sharded)
+		if err != nil {
+			t.Fatalf("shards %d: %v", nshards, err)
+		}
+
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(gb) {
+			t.Fatalf("shards %d diverged from serial\nserial: %s\nsharded: %s", nshards, wb, gb)
+		}
+	})
+}
