@@ -225,6 +225,11 @@ func BenchmarkFrontendDecode(b *testing.B) { benchsuite.FrontendDecode(b) }
 // engine (4 shards) — the parallel-engine trajectory in BENCH_engine.json.
 func BenchmarkFrontendDecodeSharded(b *testing.B) { benchsuite.FrontendDecodeSharded(b) }
 
+// BenchmarkFrontendDecodeCriticalPath is the same decode run under the
+// critical-path dispatch policy — the policy-laboratory trajectory in
+// BENCH_engine.json.
+func BenchmarkFrontendDecodeCriticalPath(b *testing.B) { benchsuite.FrontendDecodeCriticalPath(b) }
+
 // BenchmarkSoftwareRuntime measures the software-baseline path.
 func BenchmarkSoftwareRuntime(b *testing.B) {
 	build := workloads.Cholesky(2000, 42)

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"tasksuperscalar/internal/benchsuite"
+	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
 )
 
 // The -benchjson mode measures the simulation substrate's host-time
@@ -48,6 +50,48 @@ type benchFile struct {
 	// each -benchjson run appends the previous current before replacing
 	// it, preserving the perf trajectory across PRs.
 	History []*benchSnapshot `json:"history,omitempty"`
+	// PolicyComparison records the dispatch-policy laboratory on a fixed
+	// reference point (Cholesky, 2000-task budget, seed 42, 64 cores; the
+	// hetero row adds a fast:16@2 worker class). Unlike the host-time
+	// results above these are simulated, deterministic numbers — they only
+	// change when simulation semantics change, so a diff here is a
+	// semantic diff, not measurement noise.
+	PolicyComparison map[string]policyPoint `json:"policy_comparison,omitempty"`
+}
+
+// policyPoint is one row of the policy comparison: the makespan and the
+// scheduled work under one dispatch policy.
+type policyPoint struct {
+	Cycles          uint64  `json:"cycles"`
+	WorkCycles      uint64  `json:"work_cycles"`
+	TotalWorkCycles uint64  `json:"total_work_cycles"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// measurePolicies runs the policy-comparison reference point for every
+// built-in dispatch policy.
+func measurePolicies() (map[string]policyPoint, error) {
+	build := workloads.Cholesky(2000, 42)
+	out := make(map[string]policyPoint, len(tss.PolicyNames()))
+	for _, policy := range tss.PolicyNames() {
+		cfg := tss.DefaultConfig().WithCores(64)
+		cfg.Memory = false
+		cfg.Policy = policy
+		if policy == tss.PolicyHetero {
+			cfg.WorkerClasses = []tss.WorkerClass{{Name: "fast", Count: 16, Speed: 2}}
+		}
+		res, err := tss.RunTasks(build.Tasks, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy comparison (%s): %w", policy, err)
+		}
+		out[policy] = policyPoint{
+			Cycles:          res.Cycles,
+			WorkCycles:      res.Dispatch.WorkCycles,
+			TotalWorkCycles: res.TotalWorkCycles,
+			Speedup:         float64(res.TotalWorkCycles) / float64(res.Cycles),
+		}
+	}
+	return out, nil
 }
 
 // point converts a benchmark result; per-simulated-task rates are derived
@@ -77,6 +121,8 @@ func runBenchJSON(path, note string) error {
 		"server_pipeline":        point(testing.Benchmark(benchsuite.ServerPipeline)),
 		"frontend_decode":        point(testing.Benchmark(benchsuite.FrontendDecode)),
 		"frontend_decode_shard4": point(testing.Benchmark(benchsuite.FrontendDecodeSharded)),
+		"frontend_decode_critical_path": point(testing.Benchmark(
+			benchsuite.FrontendDecodeCriticalPath)),
 	}
 
 	current := &benchSnapshot{
@@ -86,6 +132,11 @@ func runBenchJSON(path, note string) error {
 		Results: results,
 	}
 	out := benchFile{Schema: "tasksuperscalar-bench/v1", Current: current}
+	pc, err := measurePolicies()
+	if err != nil {
+		return err
+	}
+	out.PolicyComparison = pc
 
 	// Preserve the committed baseline and trajectory: the previous
 	// "current" snapshot is appended to history rather than overwritten.
@@ -125,6 +176,11 @@ func runBenchJSON(path, note string) error {
 	fd := results["frontend_decode"]
 	fmt.Printf("benchjson written to %s\n", path)
 	fmt.Printf("frontend decode: %.0f ns/task, %.1f allocs/task\n", fd.NsPerTask, fd.AllocsPerTask)
+	for _, policy := range tss.PolicyNames() {
+		p := pc[policy]
+		fmt.Printf("policy %-14s %.1fx speedup, %d cycle makespan, %d work cycles\n",
+			policy+":", p.Speedup, p.Cycles, p.WorkCycles)
+	}
 	if b := out.Baseline.Results["frontend_decode"]; b.NsPerTask > 0 {
 		fmt.Printf("vs baseline:     %.0f ns/task (%+.1f%%), %.1f allocs/task (%+.1f%%)\n",
 			b.NsPerTask, 100*(fd.NsPerTask-b.NsPerTask)/b.NsPerTask,

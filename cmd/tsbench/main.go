@@ -57,6 +57,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload generation seed")
 		cores     = flag.Int("cores", 256, "largest machine size")
 		workers   = flag.Int("workers", 0, "sweep worker pool width (0 = one per CPU, 1 = serial)")
+		policy    = flag.String("policy", "", "dispatch policy for every simulation that does not pin its own (default fifo)")
 		shards    = flag.Int("shards", 1, "engine shards per simulation (results are identical at any count)")
 		jsonOut   = flag.String("json", "", "also write every sweep point to this file as JSON")
 		benchJS   = flag.String("benchjson", "", "measure substrate benches and write this JSON file, then exit")
@@ -79,7 +80,11 @@ func main() {
 
 	if *list {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-9s %s\n          paper: %s\n", e.ID, e.Title, e.Paper)
+			extra := ""
+			if e.Extra {
+				extra = " (extra: excluded from 'all')"
+			}
+			fmt.Printf("%-9s %s%s\n          paper: %s\n", e.ID, e.Title, extra, e.Paper)
 		}
 		return
 	}
@@ -91,11 +96,17 @@ func main() {
 	opts := experiments.Options{
 		Quick: !*full, Seed: *seed, Cores: *cores,
 		Workers: *workers, Shards: *shards, Sink: sink,
+		Policy: *policy,
 	}
 	var ids []string
 	if *expID == "all" {
+		// Extra experiments (laboratory extensions) only run when named
+		// explicitly; "all" stays pinned to the paper's figures so the
+		// committed determinism goldens keep hashing the same output.
 		for _, e := range experiments.Registry() {
-			ids = append(ids, e.ID)
+			if !e.Extra {
+				ids = append(ids, e.ID)
+			}
 		}
 	} else {
 		ids = strings.Split(*expID, ",")
@@ -105,7 +116,7 @@ func main() {
 		// -workers keeps its meaning remotely: it sizes the sweep's
 		// internal pool, just on the daemon (0 falls back to the
 		// daemon's serial default rather than the client's CPU count).
-		runRemote(*remote, *token, ids, *full, *seed, *cores, *workers, sink)
+		runRemote(*remote, *token, ids, *full, *seed, *cores, *workers, *policy, sink)
 		writeSink(sink, *jsonOut)
 		return
 	}
@@ -153,7 +164,7 @@ func writeSink(sink *experiments.Sink, jsonOut string) {
 // printing its output lines as they stream back and recording the returned
 // sweep points into sink (for -json). Ctrl-C cancels the in-flight remote
 // job cooperatively before exiting.
-func runRemote(base, token string, ids []string, full bool, seed int64, cores, sweepWorkers int, sink *experiments.Sink) {
+func runRemote(base, token string, ids []string, full bool, seed int64, cores, sweepWorkers int, policy string, sink *experiments.Sink) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cl := service.NewClient(base, service.WithToken(token))
@@ -170,7 +181,7 @@ func runRemote(base, token string, ids []string, full bool, seed int64, cores, s
 			Kind: service.KindSweep,
 			Sweep: &service.SweepSpec{
 				Experiment: e.ID, Full: full, Seed: &seed, Cores: cores,
-				Workers: sweepWorkers,
+				Workers: sweepWorkers, Policy: policy,
 			},
 		})
 		if err != nil {

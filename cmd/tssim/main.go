@@ -53,6 +53,8 @@ func main() {
 		trsKB    = flag.Int("trskb", 768, "eDRAM per TRS (KB)")
 		ortKB    = flag.Int("ortkb", 256, "eDRAM per ORT (KB)")
 		memory   = flag.Bool("memory", false, "model the full memory hierarchy")
+		policy   = flag.String("policy", "", "backend dispatch policy: "+strings.Join(tss.PolicyNames(), " | ")+" (default fifo)")
+		classes  = flag.String("classes", "", "heterogeneous worker classes, e.g. 'fast:8@2,slow:24@0.5' or 'gpu:4@1(4,0.25)'")
 		shards   = flag.Int("shards", 1, "engine shards for in-run parallelism (results are identical at any count)")
 		saveTo   = flag.String("save", "", "write the generated task trace to this file and exit (.json for JSON)")
 		loadFrom = flag.String("load", "", "replay a task trace from this file instead of generating")
@@ -80,7 +82,8 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runRemote(*remote, *token, *workload, *tasks, *seed, *runtime, *cores, *numTRS, *numORT, *trsKB, *ortKB, *memory)
+		runRemote(*remote, *token, *workload, *tasks, *seed, *runtime, *cores, *numTRS, *numORT, *trsKB, *ortKB, *memory,
+			*policy, parseClasses(*classes))
 		return
 	}
 
@@ -100,7 +103,8 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runStreaming(*tasks, *seed, *cores, *numTRS, *numORT, *trsKB, *ortKB, *runtime, *shards)
+		runStreaming(*tasks, *seed, *cores, *numTRS, *numORT, *trsKB, *ortKB, *runtime, *shards,
+			*policy, parseClasses(*classes))
 		return
 	}
 
@@ -161,6 +165,8 @@ func main() {
 
 	cfg := tss.DefaultConfig().WithCores(*cores)
 	cfg.Memory = *memory
+	cfg.Policy = *policy
+	cfg.WorkerClasses = parseClasses(*classes)
 	cfg.Shards = *shards
 	cfg.Frontend.NumTRS = *numTRS
 	cfg.Frontend.NumORT = *numORT
@@ -186,6 +192,7 @@ func main() {
 	}
 	seq := tss.SequentialCycles(b.Tasks)
 	fmt.Printf("runtime:        %s on %d cores\n", cfg.Runtime, res.Cores)
+	printPolicy(cfg, res.Dispatch)
 	fmt.Printf("tasks executed: %d\n", res.Tasks)
 	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
 		res.Cycles, float64(res.Cycles)/3.2e6)
@@ -213,6 +220,48 @@ func main() {
 	}
 }
 
+// parseClasses parses the -classes flag, exiting with usage on bad syntax.
+func parseClasses(s string) []tss.WorkerClass {
+	wc, err := tss.ParseWorkerClasses(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tssim: -classes: %v\n", err)
+		os.Exit(2)
+	}
+	return wc
+}
+
+// printPolicy reports the dispatch policy and its counters. The line is
+// printed only for non-default policies, so default runs keep their
+// pre-policy output byte-identical (the committed determinism goldens hash
+// it).
+func printPolicy(cfg tss.Config, ds tss.DispatchStats) {
+	p := cfg.EffectivePolicy()
+	if p == tss.PolicyFIFO && len(cfg.EffectiveWorkerClasses()) == 0 {
+		return
+	}
+	fmt.Printf("policy:         %s (%d dispatches, ready peak %d", p, ds.Dispatches, ds.ReadyPeak)
+	if ds.MaxDepth > 0 {
+		fmt.Printf(", max chain depth %d", ds.MaxDepth)
+	}
+	if ds.AffineDispatches > 0 {
+		fmt.Printf(", affine %d", ds.AffineDispatches)
+	}
+	if ds.SpecDispatches > 0 {
+		fmt.Printf(", speculated %d validated %d", ds.SpecDispatches, ds.SpecValidated)
+	}
+	fmt.Println(")")
+	if wc := cfg.EffectiveWorkerClasses(); len(wc) > 0 {
+		fmt.Printf("classes:        ")
+		for i, c := range wc {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s x%d @%gx", c.Name, c.Count, c.Speed)
+		}
+		fmt.Printf(" (scheduled work %d cycles)\n", ds.WorkCycles)
+	}
+}
+
 // cancelRemote best-effort cancels a remote job (used on Ctrl-C: the
 // interrupted context is already dead, so the DELETE rides a fresh one).
 func cancelRemote(cl *service.Client, prog, id string) {
@@ -229,7 +278,7 @@ func cancelRemote(cl *service.Client, prog, id string) {
 // the canonical result (noting whether it was served from the result cache).
 // Ctrl-C cancels the remote job cooperatively before exiting.
 func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind string,
-	cores, numTRS, numORT, trsKB, ortKB int, memory bool) {
+	cores, numTRS, numORT, trsKB, ortKB int, memory bool, policy string, classes []tss.WorkerClass) {
 	spec := &service.JobSpec{
 		Kind: service.KindSim,
 		Sim: &service.SimSpec{
@@ -244,6 +293,8 @@ func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind 
 				TRSKB:   trsKB,
 				ORTKB:   ortKB,
 				Memory:  memory,
+				Policy:  policy,
+				Classes: classes,
 			},
 		},
 	}
@@ -291,6 +342,9 @@ func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind 
 		source = "served from result cache"
 	}
 	fmt.Printf("runtime:        %s on %d cores (%s)\n", res.Runtime, res.Cores, source)
+	if res.Dispatch != nil {
+		printPolicy(tss.Config{Policy: policy, WorkerClasses: classes}, *res.Dispatch)
+	}
 	fmt.Printf("tasks executed: %d\n", res.Tasks)
 	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
 		res.Cycles, float64(res.Cycles)/3.2e6)
@@ -311,10 +365,16 @@ func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind 
 
 // runStreaming drives the lazily generated CPI stream through the
 // streaming frontend path and reports the run with memory statistics.
-func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int, runtimeKind string, shards int) {
+func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int, runtimeKind string, shards int,
+	policy string, classes []tss.WorkerClass) {
 	cfg := tss.DefaultConfig().WithCores(cores)
 	cfg.Memory = false
 	cfg.Shards = shards
+	// Streaming runs cannot precompute chain depths (the stream is lazy),
+	// so critical-path degrades to depth-0 priority; the other policies
+	// work unchanged.
+	cfg.Policy = policy
+	cfg.WorkerClasses = classes
 	cfg.Frontend.NumTRS = numTRS
 	cfg.Frontend.NumORT = numORT
 	cfg.Frontend.TRSBytesEach = uint64(trsKB) << 10
@@ -342,6 +402,7 @@ func runStreaming(tasks int, seed int64, cores, numTRS, numORT, trsKB, ortKB int
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	fmt.Printf("runtime:        %s on %d cores (streamed)\n", cfg.Runtime, res.Cores)
+	printPolicy(cfg, res.Dispatch)
 	fmt.Printf("tasks executed: %d\n", res.Tasks)
 	fmt.Printf("makespan:       %d cycles (%.2f ms at 3.2 GHz)\n",
 		res.Cycles, float64(res.Cycles)/3.2e6)

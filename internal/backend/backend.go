@@ -7,6 +7,8 @@
 package backend
 
 import (
+	"fmt"
+
 	"tasksuperscalar/internal/core"
 	"tasksuperscalar/internal/mem"
 	"tasksuperscalar/internal/noc"
@@ -38,6 +40,35 @@ type Config struct {
 	// heterogeneous CMP — the management direction the paper's
 	// conclusion points at. Nil means all cores run at full speed.
 	CoreSpeed []float64
+
+	// Policy selects the dispatch policy by name ("" = PolicyFIFO); see
+	// policy.go. The policy is part of the machine and participates in
+	// config canonicalization.
+	Policy string
+
+	// WorkerClasses partitions the cores into named execution classes
+	// (first class → first Count cores, remainder = baseline). Class
+	// speeds scale execution under every policy; the hetero policy
+	// additionally uses them for placement. Part of the machine, so
+	// canonicalized.
+	WorkerClasses []WorkerClass
+
+	// TaskDepth maps task sequence numbers to dependent-chain heights for
+	// the critical-path policy (tasks past the end have depth 0). It is a
+	// pure function of the workload — derived per-run input, excluded
+	// from canonicalization.
+	TaskDepth []uint32
+
+	// OnDispatch, when set, observes every dispatch decision in commit
+	// order (an observer: excluded from canonicalization).
+	OnDispatch func(DispatchRecord)
+
+	// SpecValidate replays a recorded dispatch trace against this run:
+	// each decision must match the trace entry exactly and pass the
+	// policy's admission legality re-check, else the backend panics. This
+	// is the spec policy's non-speculative validation oracle (observer;
+	// excluded from canonicalization).
+	SpecValidate []DispatchRecord
 
 	// RecordSchedule retains per-task start/finish times (O(tasks)
 	// memory) for Schedule. Streaming runs disable it so backend memory
@@ -83,6 +114,7 @@ type worker struct {
 	queue   sim.FIFO[*stagedTask]
 	running bool
 	credit  *gtuCredit // reusable (immutable) local-queue credit message
+	hint    *gtuHint   // reusable execution-finished hint (spec policy only)
 }
 
 // Backend implements core.Dispatcher.
@@ -96,10 +128,19 @@ type Backend struct {
 
 	node    noc.NodeID // global task unit
 	gtu     *sim.Server[any]
-	readyQ  sim.FIFO[*core.ReadyTask]
-	credits []int // free local-queue slots per worker
+	policy  Policy // owns the ready set; picks (task, worker) pairs
+	credits []int  // free local-queue slots per worker
 	freeRR  int
 	workers []*worker
+
+	// Worker-class precomputation (nil unless WorkerClasses set).
+	classOf      []int8    // worker → class index, -1 = baseline
+	classMembers [][]int32 // class index → member workers, ascending
+
+	// Speculation state (nil unless the spec policy is active).
+	wantHints bool
+	specHint  []bool // worker finished executing; credit in flight
+	specDebt  []int8 // outstanding speculative dispatches (0 or 1)
 
 	// Free lists for the per-task event objects (delivery, staging,
 	// execution lifecycle), so steady-state execution does not allocate.
@@ -117,19 +158,38 @@ type Backend struct {
 	executed  uint64
 	readyPeak int
 	steals    uint64
+
+	// Per-run dispatch accounting (see DispatchStats / ResetRunStats).
+	dispatches       uint64
+	affineDispatches uint64
+	specDispatched   uint64
+	specValidated    uint64
+	workCycles       uint64
+	depthMax         uint32
+	valIdx           int // cursor into cfg.SpecValidate
 }
 
 // gtuMsg types. Ready tasks travel as bare *core.ReadyTask pointers;
-// credits are per-worker singletons — neither allocates per message.
+// credits and hints are per-worker singletons — none allocates per message.
 type gtuCredit struct{ worker int }
+type gtuHint struct{ worker int }   // worker finished executing (spec policy)
 type gtuMove struct{ from, to int } // steal: slot moves between workers
 
-// execCycles scales a task's runtime by the worker core's speed.
+// execCycles scales a task's runtime by the worker core's speed and, when
+// worker classes are configured, by the class's (per-kernel) speed — a
+// machine property that applies under every dispatch policy.
 func (b *Backend) execCycles(w *worker, rt *core.ReadyTask) sim.Cycle {
 	t := rt.Task.Runtime
 	if b.cfg.CoreSpeed != nil && w.idx < len(b.cfg.CoreSpeed) {
 		if sp := b.cfg.CoreSpeed[w.idx]; sp > 0 && sp != 1 {
 			t = uint64(float64(t) / sp)
+		}
+	}
+	if b.classOf != nil {
+		if c := b.classOf[w.idx]; c >= 0 {
+			if sp := b.cfg.WorkerClasses[c].effSpeed(rt.Task.Kernel); sp != 1 {
+				t = uint64(float64(t) / sp)
+			}
 		}
 	}
 	return sim.Cycle(t)
@@ -200,6 +260,32 @@ func New(eng *sim.Engine, net *noc.Network, coreNodes []noc.NodeID, cfg Config, 
 		b.workers[i] = &ws[i]
 		b.credits[i] = cfg.LocalQueueDepth
 	}
+	if len(cfg.WorkerClasses) > 0 {
+		b.classOf = make([]int8, cfg.Cores)
+		b.classMembers = make([][]int32, len(cfg.WorkerClasses))
+		for i := range b.classOf {
+			b.classOf[i] = -1
+		}
+		next := 0
+		for ci := range cfg.WorkerClasses {
+			for j := 0; j < cfg.WorkerClasses[ci].Count && next < cfg.Cores; j++ {
+				b.classOf[next] = int8(ci)
+				b.classMembers[ci] = append(b.classMembers[ci], int32(next))
+				next++
+			}
+		}
+	}
+	if cfg.Policy == PolicySpec {
+		b.wantHints = true
+		b.specHint = make([]bool, cfg.Cores)
+		b.specDebt = make([]int8, cfg.Cores)
+		hints := make([]gtuHint, cfg.Cores)
+		for i := range hints {
+			hints[i] = gtuHint{worker: i}
+			b.workers[i].hint = &hints[i]
+		}
+	}
+	b.policy = b.newPolicy(cfg.Policy)
 	return b
 }
 
@@ -226,13 +312,25 @@ func (b *Backend) TaskReady(rt *core.ReadyTask) { b.gtu.Submit(rt) }
 func (b *Backend) handleGTU(m any) sim.Cycle {
 	switch msg := m.(type) {
 	case *core.ReadyTask:
-		b.readyQ.Push(msg)
-		if b.readyQ.Len() > b.readyPeak {
-			b.readyPeak = b.readyQ.Len()
+		b.policy.Enqueue(msg)
+		if r := b.policy.Ready(); r > b.readyPeak {
+			b.readyPeak = r
 		}
 		return b.dispatch()
 	case *gtuCredit:
-		b.credits[msg.worker]++
+		if b.specDebt != nil && b.specDebt[msg.worker] > 0 {
+			// The slot this credit frees was consumed early by a
+			// speculative dispatch: repay the debt instead. This is
+			// the rollback-free validation — the speculation is
+			// confirmed correct by the credit's arrival.
+			b.specDebt[msg.worker]--
+			b.specValidated++
+		} else {
+			b.credits[msg.worker]++
+		}
+		return b.dispatch()
+	case *gtuHint:
+		b.specHint[msg.worker] = true
 		return b.dispatch()
 	case gtuMove:
 		b.credits[msg.from]++
@@ -263,27 +361,24 @@ func (ev *deliverTaskEvent) Fire() {
 	b.deliver(w, rt)
 }
 
-// dispatch hands queued tasks to workers with free local-queue slots,
-// round-robin across cores.
+// dispatch drains the policy's ready set onto workers: the policy picks
+// (task, worker) pairs until none is admissible; the loop charges credits,
+// accounts the decision, and sends the delivery.
 func (b *Backend) dispatch() sim.Cycle {
 	var cost sim.Cycle
-	n := len(b.workers)
-	for b.readyQ.Len() > 0 {
-		picked := -1
-		for i := 0; i < n; i++ {
-			idx := (b.freeRR + i) % n
-			if b.credits[idx] > 0 {
-				picked = idx
-				b.freeRR = (idx + 1) % n
-				break
-			}
-		}
-		if picked < 0 {
+	for b.policy.Ready() > 0 {
+		rt, wi, spec, ok := b.policy.Pick()
+		if !ok {
 			break
 		}
-		rt := b.readyQ.Pop()
-		b.credits[picked]--
-		w := b.workers[picked]
+		if !spec {
+			b.credits[wi]--
+		}
+		b.dispatches++
+		if b.cfg.OnDispatch != nil || b.cfg.SpecValidate != nil {
+			b.checkDispatch(rt, wi, spec)
+		}
+		w := b.workers[wi]
 		size := b.cfg.CtrlBytes + 16*uint32(len(rt.Operands))
 		ev := b.freeDeliver
 		if ev == nil {
@@ -297,6 +392,37 @@ func (b *Backend) dispatch() sim.Cycle {
 		cost += b.cfg.DispatchCycles
 	}
 	return cost
+}
+
+// checkDispatch reports one dispatch decision to the observers and, under
+// SpecValidate, replays it against the recorded trace: the decision must
+// match the next trace entry exactly and be legal under the policy's own
+// admission rules. A divergence is a determinism or speculation bug, so it
+// panics rather than degrading silently.
+func (b *Backend) checkDispatch(rt *core.ReadyTask, w int, spec bool) {
+	rec := DispatchRecord{Seq: rt.Task.Seq, Worker: w, Cycle: uint64(b.eng.Now()), Speculative: spec}
+	if b.cfg.OnDispatch != nil {
+		b.cfg.OnDispatch(rec)
+	}
+	trace := b.cfg.SpecValidate
+	if trace == nil {
+		return
+	}
+	if b.valIdx >= len(trace) {
+		panic(fmt.Sprintf("backend: dispatch %d (%+v) beyond recorded trace of %d", b.valIdx, rec, len(trace)))
+	}
+	want := trace[b.valIdx]
+	b.valIdx++
+	if rec != want {
+		panic(fmt.Sprintf("backend: dispatch %d diverged: got %+v, trace has %+v", b.valIdx-1, rec, want))
+	}
+	if spec {
+		if b.specDebt == nil || b.specDebt[w] != 1 {
+			panic(fmt.Sprintf("backend: speculative dispatch %d to worker %d without debt", b.valIdx-1, w))
+		}
+	} else if b.credits[w] < 0 {
+		panic(fmt.Sprintf("backend: dispatch %d overdrew worker %d credits", b.valIdx-1, w))
+	}
 }
 
 // deliver places a task in a worker's local queue and begins staging its
@@ -340,6 +466,12 @@ func (ev *taskEvent) Fire() {
 		// the background and gates only the completion notification.
 		b.busy.Inc(b.eng.Now(), -1)
 		w.running = false
+		if b.wantHints {
+			// Tell the GTU this worker's credit is now provably in
+			// flight (writeback → completion → credit), enabling one
+			// speculative early dispatch against it.
+			b.net.SendMsg(w.node, b.node, b.cfg.CtrlBytes, b.gtu, w.hint)
+		}
 		b.maybeStart(w)
 		ev.phase = phaseWriteDone
 		b.writeOutputs(w, rt, ev)
@@ -381,7 +513,9 @@ func (b *Backend) maybeStart(w *worker) {
 		ev.next = nil
 	}
 	ev.w, ev.rt, ev.phase = w, rt, phaseExecDone
-	b.eng.ScheduleEvent(b.execCycles(w, rt), ev)
+	c := b.execCycles(w, rt)
+	b.workCycles += uint64(c)
+	b.eng.ScheduleEvent(c, ev)
 }
 
 // stageOperands brings every input operand into the worker's L1 and
@@ -482,8 +616,46 @@ func (b *Backend) Schedule(n int) (start, finish []uint64) {
 // Utilization returns average busy cores over [0, end].
 func (b *Backend) Utilization(end sim.Cycle) float64 { return b.busy.TimeAvg(end) }
 
-// ReadyPeak returns the high-water mark of the global ready queue.
+// ReadyPeak returns the high-water mark of the global ready set.
 func (b *Backend) ReadyPeak() int { return b.readyPeak }
 
 // Steals returns the number of tasks moved between local queues.
 func (b *Backend) Steals() uint64 { return b.steals }
+
+// Policy returns the active dispatch policy (for tests and observability).
+func (b *Backend) Policy() Policy { return b.policy }
+
+// Dispatch returns the run's dispatch accounting.
+func (b *Backend) Dispatch() DispatchStats {
+	return DispatchStats{
+		Policy:           b.policy.Name(),
+		Dispatches:       b.dispatches,
+		AffineDispatches: b.affineDispatches,
+		SpecDispatches:   b.specDispatched,
+		SpecValidated:    b.specValidated,
+		ReadyPeak:        b.readyPeak,
+		MaxDepth:         b.depthMax,
+		WorkCycles:       b.workCycles,
+		Steals:           b.steals,
+	}
+}
+
+// ResetRunStats clears the per-run observability counters so a backend
+// reused across engine runs reports the new run alone (previously ReadyPeak
+// leaked the old run's high-water mark). The busy counter — and therefore
+// Utilization — stays cumulative: it is time-weighted over the engine
+// clock, which also keeps advancing across runs.
+func (b *Backend) ResetRunStats() {
+	b.readyPeak = 0
+	b.executed = 0
+	b.steals = 0
+	b.dispatches = 0
+	b.affineDispatches = 0
+	b.specDispatched = 0
+	b.specValidated = 0
+	b.workCycles = 0
+	b.depthMax = 0
+	b.valIdx = 0
+	b.startAt = b.startAt[:0]
+	b.finishAt = b.finishAt[:0]
+}

@@ -139,6 +139,24 @@ func FrontendDecode(b *testing.B) {
 	})
 }
 
+// FrontendDecodeCriticalPath is FrontendDecode under the critical-path
+// dispatch policy: the same workload and machine, but every ready task flows
+// through the depth-bucketed priority queue (plus the one-time dependence-
+// graph depth precompute). Tracks the host-time cost of the policy
+// laboratory's most queue-intensive built-in against the FIFO baseline.
+func FrontendDecodeCriticalPath(b *testing.B) {
+	build := workloads.Cholesky(2000, 42)
+	cfg := tss.DefaultConfig().WithCores(256)
+	cfg.Memory = false
+	cfg.Policy = tss.PolicyCriticalPath
+	b.ReportAllocs()
+	ReportPerTask(b, len(build.Tasks), func() {
+		if _, err := tss.RunTasks(build.Tasks, cfg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 // FrontendDecodeSharded is FrontendDecode on the sharded engine (4 shards):
 // the parallel trajectory tracked alongside the serial one in
 // BENCH_engine.json. Results are bit-identical to FrontendDecode's run; the

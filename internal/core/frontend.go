@@ -123,11 +123,12 @@ func (fe *Frontend) getReadyTask() *ReadyTask {
 	return rt
 }
 
-// putReadyTask returns a released record; the operand slice keeps its
-// capacity for the next dispatch.
-func (fe *Frontend) putReadyTask(rt *ReadyTask) {
+// PutReadyTask returns a released record; the operand slice keeps its
+// capacity for the next dispatch. It implements ReadyTaskPool.
+func (fe *Frontend) PutReadyTask(rt *ReadyTask) {
 	rt.Task = nil
 	rt.Operands = rt.Operands[:0]
+	rt.Depth = 0
 	rt.nextFree = fe.freeRT
 	fe.freeRT = rt
 }

@@ -166,16 +166,35 @@ type ReadyTask struct {
 	DecodedAt sim.Cycle
 	ReadyAt   sim.Cycle
 
-	owner    *Frontend // pool owner; nil for unpooled records
+	// Depth is scheduling metadata attached by the dispatcher: the task's
+	// dependent-chain height (number of tasks transitively waiting on its
+	// outputs) under the critical-path policy, 0 otherwise. It is a
+	// priority hint, never machine state — producers leave it zero.
+	Depth uint32
+
+	owner    ReadyTaskPool // pool owner; nil for unpooled records
 	nextFree *ReadyTask
 }
+
+// ReadyTaskPool recycles retired dispatch records. The hardware frontend is
+// the canonical implementation; tests install recorders to observe the
+// Release round-trip, and alternative producers may pool their own records.
+type ReadyTaskPool interface {
+	// PutReadyTask receives a record whose task has fully retired. The
+	// record (including Task and Operands) is the pool's to reuse.
+	PutReadyTask(rt *ReadyTask)
+}
+
+// NewPooledReadyTask builds a record owned by pool: its Release hands the
+// record to pool.PutReadyTask instead of being a no-op.
+func NewPooledReadyTask(pool ReadyTaskPool) *ReadyTask { return &ReadyTask{owner: pool} }
 
 // Release returns a pooled record to its owner. The caller must not touch
 // rt (including Task and Operands) afterwards; releasing an unpooled record
 // does nothing.
 func (rt *ReadyTask) Release() {
 	if rt.owner != nil {
-		rt.owner.putReadyTask(rt)
+		rt.owner.PutReadyTask(rt)
 	}
 }
 

@@ -44,6 +44,11 @@ type Options struct {
 	// (tss.Config.Shards). Like Workers it is an observer: results are
 	// identical at every shard count.
 	Shards int
+	// Policy, when non-empty, runs every constituent simulation under the
+	// named backend dispatch policy (tss.Config.Policy). Unlike Shards it
+	// is machine state: it changes results and fingerprints, making it a
+	// sweepable axis rather than an observer.
+	Policy string
 	// Sink, when non-nil, additionally collects every aggregated sweep
 	// point for machine-readable (JSON) output.
 	Sink *Sink
@@ -83,27 +88,35 @@ type Experiment struct {
 	Title string
 	Paper string // what the paper reports, for context
 	Run   func(w io.Writer, o Options) error
+	// Extra marks laboratory extensions beyond the paper's evaluation:
+	// they run by ID but are excluded from `-experiment all`, so the
+	// committed determinism goldens (which hash the full "all" output)
+	// stay pinned to the paper's figures.
+	Extra bool
 }
 
 // Registry lists all experiments in paper order.
 func Registry() []Experiment {
 	return []Experiment{
 		{"table1", "Table I: benchmark task statistics",
-			"avg data size, min/med/avg runtimes, decode-rate limit for 256p", Table1},
+			"avg data size, min/med/avg runtimes, decode-rate limit for 256p", Table1, false},
 		{"fig12", "Figure 12: task decode rate vs pipeline parallelism (Cholesky, H264)",
-			"rate falls with #TRS; H264 slower than Cholesky; ORTs help once TRSs scale", Fig12},
+			"rate falls with #TRS; H264 slower than Cholesky; ORTs help once TRSs scale", Fig12, false},
 		{"fig13", "Figure 13: average task decode rate vs pipeline parallelism",
-			"average over 9 benchmarks; 128p/256p rate limits at 375/187 cycles", Fig13},
+			"average over 9 benchmarks; 128p/256p rate limits at 375/187 cycles", Fig13, false},
 		{"fig14", "Figure 14: speedup vs total ORT capacity",
-			"saturation at 128 KB (Cholesky) and 512 KB (H264, average)", Fig14},
+			"saturation at 128 KB (Cholesky) and 512 KB (H264, average)", Fig14, false},
 		{"fig15", "Figure 15: speedup vs total TRS capacity",
-			"Cholesky peaks by 2 MB, H264 needs 6 MB; window of 12k-50k tasks", Fig15},
+			"Cholesky peaks by 2 MB, H264 needs 6 MB; window of 12k-50k tasks", Fig15, false},
 		{"fig16", "Figure 16: speedup vs cores, hardware pipeline vs software runtime",
-			"hardware 95-255x (avg 183x) at 256p; software plateaus at 32-64p except Knn/H264", Fig16},
+			"hardware 95-255x (avg 183x) at 256p; software plateaus at 32-64p except Knn/H264", Fig16, false},
 		{"headline", "Headline (abstract/§VI): decode <60ns, 7MB eDRAM, tens of thousands of in-flight tasks",
-			"decode rate faster than 60 ns/task; ~50k-task windows in 7 MB", Headline},
+			"decode rate faster than 60 ns/task; ~50k-task windows in 7 MB", Headline, false},
 		{"chains", "§IV.B.2: consumer chain lengths and TRS fragmentation",
-			"95% of chains <=2 for 7 benchmarks (<=7 for the other two); ~20% TRS fragmentation", Chains},
+			"95% of chains <=2 for 7 benchmarks (<=7 for the other two); ~20% TRS fragmentation", Chains, false},
+		{ID: "policies", Title: "Policy laboratory: dispatch policy × core-count speedup grid",
+			Paper: "extension beyond the paper (its backend is FIFO-only); HTS/TWC-inspired policies",
+			Run:   Policies, Extra: true},
 	}
 }
 
@@ -179,6 +192,9 @@ func runHW(b *workloads.Build, cfg tss.Config) (*tss.Result, error) {
 // produce bit-identical numbers.
 func benchRun(o Options, wl workloads.Info, budget int, seed int64, cfg tss.Config) (*tss.Result, float64, error) {
 	cfg.Shards = o.Shards
+	if o.Policy != "" && cfg.Policy == "" {
+		cfg.Policy = o.Policy
+	}
 	job := SimJob{Workload: wl, Tasks: budget, Seed: seed, Config: cfg}
 	var res *tss.Result
 	var err error

@@ -11,7 +11,7 @@ func quickOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig12", "fig13", "fig14", "fig15", "fig16", "headline", "chains"}
+	want := []string{"table1", "fig12", "fig13", "fig14", "fig15", "fig16", "headline", "chains", "policies"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -22,6 +22,13 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		if _, ok := Get(id); !ok {
 			t.Fatalf("Get(%q) failed", id)
+		}
+	}
+	// Paper experiments stay in "all" (the determinism goldens hash its
+	// output); laboratory extensions are Extra and excluded.
+	for _, e := range reg {
+		if wantExtra := e.ID == "policies"; e.Extra != wantExtra {
+			t.Fatalf("experiment %s: Extra = %v, want %v", e.ID, e.Extra, wantExtra)
 		}
 	}
 	if _, ok := Get("nosuch"); ok {
@@ -94,6 +101,29 @@ func TestChainsQuick(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "fragmentation") {
 		t.Fatalf("Chains output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestPoliciesQuick(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &Sink{}
+	o := quickOpts()
+	o.Sink = sink
+	if err := Policies(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, policy := range []string{"fifo", "critical-path", "hetero", "spec"} {
+		if !strings.Contains(out, policy) {
+			t.Fatalf("Policies output missing %s row:\n%s", policy, out)
+		}
+	}
+	if !strings.Contains(out, "affine") || !strings.Contains(out, "speculated") {
+		t.Fatalf("Policies output missing per-policy counters:\n%s", out)
+	}
+	// quick mode: 1 bench × 4 policies × 2 core counts.
+	if got := len(sink.Points()); got != 8 {
+		t.Fatalf("Policies recorded %d sweep points, want 8", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tasksuperscalar/internal/workloads"
+	"tasksuperscalar/tss"
 )
 
 // fuzzSpec builds a sim JobSpec from raw fuzz inputs. omit's low bits mark
@@ -143,6 +144,19 @@ func FuzzJobSpecKey(f *testing.F) {
 			} else {
 				s.Sim.Machine.Runtime = "hardware"
 			}
+		})
+		mutate("policy", func(s *JobSpec) {
+			if s.Sim.Machine.Policy == "critical-path" {
+				s.Sim.Machine.Policy = "spec"
+			} else {
+				s.Sim.Machine.Policy = "critical-path"
+			}
+		})
+		mutate("classes", func(s *JobSpec) {
+			s.Sim.Machine.Classes = []tss.WorkerClass{{Name: "fast", Count: 1, Speed: 2}}
+		})
+		mutate("class_speed", func(s *JobSpec) {
+			s.Sim.Machine.Classes = []tss.WorkerClass{{Name: "fast", Count: 1, Speed: 4}}
 		})
 		mutate("workload", func(s *JobSpec) {
 			all := workloads.All()

@@ -49,6 +49,10 @@ type SimResult struct {
 	Software *softrt.Stats `json:"software,omitempty"`
 	// Mem carries memory-system statistics when the hierarchy is modeled.
 	Mem *mem.Stats `json:"mem,omitempty"`
+	// Dispatch carries the backend's per-run dispatch-policy accounting.
+	// A pointer so cached payloads from before the policy laboratory
+	// (which lack the field) still decode; new encodes always set it.
+	Dispatch *tss.DispatchStats `json:"dispatch,omitempty"`
 }
 
 // SweepResult is the canonical result payload of a sweep job: the
@@ -99,6 +103,8 @@ func EncodeSimResult(spec *SimSpec, res *tss.Result) ([]byte, error) {
 		m := res.Mem
 		out.Mem = &m
 	}
+	ds := res.Dispatch
+	out.Dispatch = &ds
 	return json.Marshal(out)
 }
 

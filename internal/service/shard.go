@@ -239,6 +239,8 @@ func pointSpec(pj experiments.SimJob) (*JobSpec, bool) {
 			ORTKB:   int(fe.ORTBytesEach >> 10),
 			OVTKB:   int(fe.OVTBytesEach >> 10),
 			Memory:  c.Memory,
+			Policy:  c.EffectivePolicy(),
+			Classes: c.EffectiveWorkerClasses(),
 		},
 	}}
 	if err := spec.Normalize(); err != nil {
@@ -293,6 +295,9 @@ func decodeSimResult(payload []byte) (*tss.Result, error) {
 	}
 	if sr.Mem != nil {
 		res.Mem = *sr.Mem
+	}
+	if sr.Dispatch != nil {
+		res.Dispatch = *sr.Dispatch
 	}
 	return res, nil
 }

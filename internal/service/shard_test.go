@@ -218,6 +218,53 @@ func TestFleetShardedSweep(t *testing.T) {
 	}
 }
 
+// The policy laboratory across a fleet: the "policies" experiment — whose
+// grid mixes all four dispatch policies and a heterogeneous worker-class
+// point — decomposes into per-point sim jobs that fan out over three worker
+// daemons and reassemble byte-identically to the monolithic in-process run.
+// Every point must be expressible as a sim spec (policy and classes survive
+// the pointSpec round-trip) — none may fall back to inline execution.
+func TestFleetPolicySweep(t *testing.T) {
+	spec := func() *JobSpec {
+		return &JobSpec{Kind: KindSweep, Sweep: &SweepSpec{Experiment: "policies"}}
+	}
+	want := directBytes(t, spec())
+	disp, cl, _ := startFleet(t, 3, Config{Workers: 2})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := cl.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != StatusDone {
+		t.Fatalf("policy sweep ended %s: %s", fin.Status, fin.Error)
+	}
+	got, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet policy sweep differs from monolithic run:\n got: %.300s…\nwant: %.300s…", got, want)
+	}
+
+	sh := disp.Stats().Shard
+	shardConserved(t, sh)
+	// Quick mode: 1 benchmark × 4 policies × 2 core counts.
+	if sh.Points != 8 {
+		t.Fatalf("policy sweep enumerated %d points, want 8", sh.Points)
+	}
+	if sh.Inline != 0 {
+		t.Fatalf("%d policy points fell back to inline execution — pointSpec dropped policy or classes", sh.Inline)
+	}
+	if sh.Failed != 0 {
+		t.Fatalf("%d policy points failed", sh.Failed)
+	}
+}
+
 // pointSpec must express every machine shape the experiment sweeps generate
 // — including Figure 14's asymmetric ORT/OVT sizing — and must refuse
 // anything it cannot round-trip exactly.
@@ -278,6 +325,27 @@ func TestPointSpecExpressibility(t *testing.T) {
 		}
 		if spec.Sim.Machine.Runtime != "software" {
 			t.Fatalf("runtime mapped to %q", spec.Sim.Machine.Runtime)
+		}
+	})
+
+	t.Run("policy laboratory point", func(t *testing.T) {
+		cfg := base()
+		cfg.Policy = tss.PolicyHetero
+		cfg.WorkerClasses = []tss.WorkerClass{{Name: "fast", Count: 64, Speed: 2}}
+		spec, ok := pointSpec(experiments.SimJob{Workload: chol, Tasks: 600, Seed: 42, Config: cfg})
+		if !ok {
+			t.Fatal("hetero policy point not expressible")
+		}
+		if spec.Sim.Machine.Policy != "hetero" || len(spec.Sim.Machine.Classes) != 1 {
+			t.Fatalf("policy/classes lost: %+v", spec.Sim.Machine)
+		}
+		// A fifo point and the same point with a policy must not share a key.
+		plain, ok := pointSpec(experiments.SimJob{Workload: chol, Tasks: 600, Seed: 42, Config: base()})
+		if !ok {
+			t.Fatal("baseline point not expressible")
+		}
+		if spec.Key() == plain.Key() {
+			t.Fatal("policy point aliases the fifo point's key")
 		}
 	})
 

@@ -106,6 +106,13 @@ type MachineSpec struct {
 	OVTKB int `json:"ovt_kb,omitempty"`
 	// Memory enables the coherent memory hierarchy.
 	Memory bool `json:"memory,omitempty"`
+	// Policy is the backend dispatch policy (default "fifo"; see
+	// tss.PolicyNames). Machine state, so it participates in the job key
+	// through the config's canonical string.
+	Policy string `json:"policy,omitempty"`
+	// Classes partitions the worker cores into heterogeneous speed classes
+	// (empty: homogeneous machine).
+	Classes []tss.WorkerClass `json:"classes,omitempty"`
 }
 
 // SweepSpec is one experiment from the internal/experiments registry, run
@@ -124,6 +131,10 @@ type SweepSpec struct {
 	// the daemon, cross-job parallelism comes from the job pool, so a
 	// single sweep does not fan out unless asked to).
 	Workers int `json:"workers,omitempty"`
+	// Policy overrides the dispatch policy for every simulation in the
+	// sweep that does not pin its own (default "fifo"). Part of the job
+	// key: different policies produce different results.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes names in place, then validates.
@@ -219,6 +230,9 @@ func (s *SimSpec) normalize() error {
 	if m.OVTKB == 0 {
 		m.OVTKB = m.ORTKB
 	}
+	if m.Policy == "" {
+		m.Policy = tss.PolicyFIFO
+	}
 	return s.Config().Validate()
 }
 
@@ -236,7 +250,24 @@ func (s *SweepSpec) normalize() error {
 	if s.Workers <= 0 {
 		s.Workers = 1
 	}
+	if s.Policy == "" {
+		s.Policy = tss.PolicyFIFO
+	}
+	if !validPolicyName(s.Policy) {
+		return fmt.Errorf("unknown policy %q (have %v)", s.Policy, tss.PolicyNames())
+	}
 	return nil
+}
+
+// validPolicyName reports whether name is one of the built-in dispatch
+// policies.
+func validPolicyName(name string) bool {
+	for _, p := range tss.PolicyNames() {
+		if name == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Config builds the tss machine configuration a normalized sim spec
@@ -260,6 +291,8 @@ func (s *SimSpec) Config() tss.Config {
 	cfg.Frontend.ORTBytesEach = uint64(s.Machine.ORTKB) << 10
 	cfg.Frontend.OVTBytesEach = uint64(s.Machine.OVTKB) << 10
 	cfg.Memory = s.Machine.Memory
+	cfg.Policy = s.Machine.Policy
+	cfg.WorkerClasses = s.Machine.Classes
 	cfg.Backend.RecordSchedule = false
 	return cfg
 }
@@ -267,7 +300,7 @@ func (s *SimSpec) Config() tss.Config {
 // Options builds the experiment options a normalized sweep spec describes;
 // ctx cancels the sweep between its constituent simulations.
 func (s *SweepSpec) Options(ctx context.Context, sink *experiments.Sink) experiments.Options {
-	return experiments.Options{
+	o := experiments.Options{
 		Quick:   !s.Full,
 		Seed:    *s.Seed,
 		Cores:   s.Cores,
@@ -275,6 +308,10 @@ func (s *SweepSpec) Options(ctx context.Context, sink *experiments.Sink) experim
 		Sink:    sink,
 		Context: ctx,
 	}
+	if s.Policy != tss.PolicyFIFO {
+		o.Policy = s.Policy
+	}
+	return o
 }
 
 // Key returns the job's content address: the hex SHA-256 of a canonical
@@ -295,6 +332,12 @@ func (s *JobSpec) Key() string {
 		// differ only in Workers address the same result.
 		fmt.Fprintf(&b, "experiment=%s\nfull=%v\nseed=%d\ncores=%d\nsim=%s\n",
 			s.Sweep.Experiment, s.Sweep.Full, *s.Sweep.Seed, s.Sweep.Cores, tss.SimVersion)
+		// The default policy is omitted so pre-policy sweep keys stay
+		// stable; a non-default policy changes every constituent run, so
+		// it must (and does) change the key.
+		if s.Sweep.Policy != tss.PolicyFIFO {
+			fmt.Fprintf(&b, "policy=%s\n", s.Sweep.Policy)
+		}
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])

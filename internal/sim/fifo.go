@@ -67,6 +67,26 @@ func (f *FIFO[T]) PopBack() T {
 // is invalidated by the next Push or Pop.
 func (f *FIFO[T]) At(i int) *T { return &f.buf[f.head+i] }
 
+// RemoveAt removes and returns the i-th queued element (0 = head),
+// preserving the relative order of the remaining elements. Cost is O(i):
+// the prefix before the removed slot shifts toward the tail and the head
+// index advances, so removals near the head — the only ones the bounded
+// scan windows of the dispatch policies perform — stay cheap and never
+// move the unscanned suffix. It panics when i is out of range.
+func (f *FIFO[T]) RemoveAt(i int) T {
+	idx := f.head + i
+	x := f.buf[idx]
+	copy(f.buf[f.head+1:idx+1], f.buf[f.head:idx])
+	var zero T
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return x
+}
+
 // clearTail zeroes buf[n:] so moved-from slots do not retain references.
 func clearTail[T any](buf []T, n int) {
 	var zero T

@@ -51,6 +51,67 @@ func TestFIFOFrontAtPopBack(t *testing.T) {
 	}
 }
 
+// RemoveAt must act like Pop for index 0 and like an order-preserving
+// middle removal elsewhere, across interleavings that wrap the backing
+// array — the operation the dispatch policies' scan windows depend on.
+func TestFIFORemoveAt(t *testing.T) {
+	// Model-check against a plain slice through a deterministic mix of
+	// pushes, pops and middle removals.
+	var f FIFO[int]
+	var model []int
+	next := 0
+	rng := uint64(12345)
+	rand := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 2000; step++ {
+		switch op := rand(3); {
+		case op == 0 || f.Len() == 0:
+			f.Push(next)
+			model = append(model, next)
+			next++
+		case op == 1:
+			if got, want := f.Pop(), model[0]; got != want {
+				t.Fatalf("step %d: Pop = %d, want %d", step, got, want)
+			}
+			model = model[1:]
+		default:
+			i := rand(f.Len())
+			want := model[i]
+			if got := f.RemoveAt(i); got != want {
+				t.Fatalf("step %d: RemoveAt(%d) = %d, want %d", step, i, got, want)
+			}
+			model = append(model[:i], model[i+1:]...)
+		}
+		if f.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, f.Len(), len(model))
+		}
+	}
+	for i := range model {
+		if got := *f.At(i); got != model[i] {
+			t.Fatalf("drain check: At(%d) = %d, want %d", i, got, model[i])
+		}
+	}
+}
+
+// Like Pop, a steady-state RemoveAt near the head must not allocate.
+func TestFIFORemoveAtZeroAlloc(t *testing.T) {
+	var f FIFO[int]
+	for i := 0; i < 64; i++ {
+		f.Push(i)
+	}
+	for f.Len() > 32 {
+		f.Pop()
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		f.Push(1)
+		f.RemoveAt(f.Len() / 2)
+	}); avg != 0 {
+		t.Fatalf("steady-state RemoveAt allocated %.2f times, want 0", avg)
+	}
+}
+
 // A queue cycling at its high-water mark must stop allocating: pops advance
 // the head, pushes compact the consumed prefix instead of growing.
 func TestFIFOSteadyStateZeroAlloc(t *testing.T) {

@@ -40,6 +40,7 @@ fi
 
 "$tmp/tssim" -workload cholesky -tasks 3000 -seed 7 -cores 64 > "$tmp/sim-cholesky-seed7.txt"
 "$tmp/tssim" -workload h264 -tasks 2000 -seed 3 -cores 128 -memory > "$tmp/sim-h264-seed3.txt"
+"$tmp/tssim" -workload cholesky -tasks 3000 -seed 7 -cores 64 -policy critical-path > "$tmp/sim-cholesky-cp.txt"
 
 # Sharded-engine invariance: the same fixed-seed runs at several shard
 # counts must reproduce the serial output byte for byte. The goldens are
@@ -51,6 +52,7 @@ fi
 simnorm() { grep -v '^host:'; }
 simnorm < "$tmp/sim-cholesky-seed7.txt" > "$tmp/serial-cholesky.norm"
 simnorm < "$tmp/sim-h264-seed3.txt" > "$tmp/serial-h264.norm"
+simnorm < "$tmp/sim-cholesky-cp.txt" > "$tmp/serial-cholesky-cp.norm"
 for n in 2 4 8; do
   "$tmp/tssim" -workload cholesky -tasks 3000 -seed 7 -cores 64 -shards "$n" | simnorm > "$tmp/shard$n-cholesky.norm"
   if ! cmp -s "$tmp/serial-cholesky.norm" "$tmp/shard$n-cholesky.norm"; then
@@ -64,9 +66,15 @@ for n in 2 4 8; do
     diff "$tmp/serial-h264.norm" "$tmp/shard$n-h264.norm" | head -20 >&2
     exit 1
   fi
+  "$tmp/tssim" -workload cholesky -tasks 3000 -seed 7 -cores 64 -policy critical-path -shards "$n" | simnorm > "$tmp/shard$n-cholesky-cp.norm"
+  if ! cmp -s "$tmp/serial-cholesky-cp.norm" "$tmp/shard$n-cholesky-cp.norm"; then
+    echo "FAIL: $n-shard critical-path run differs from serial (policy sharded determinism broken)" >&2
+    diff "$tmp/serial-cholesky-cp.norm" "$tmp/shard$n-cholesky-cp.norm" | head -20 >&2
+    exit 1
+  fi
 done
 
-(cd "$tmp" && sha256sum bench-serial.txt sim-cholesky-seed7.txt sim-h264-seed3.txt) > "$tmp/hashes"
+(cd "$tmp" && sha256sum bench-serial.txt sim-cholesky-seed7.txt sim-h264-seed3.txt sim-cholesky-cp.txt) > "$tmp/hashes"
 
 if [ "$update" = 1 ]; then
   mkdir -p "$(dirname "$golden")"

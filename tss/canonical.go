@@ -24,9 +24,12 @@ const SimVersion = "tss-sim/2"
 // (and the Fingerprint derived from it) is the cache key used by the tssd
 // daemon's result cache.
 //
-// Function-valued fields (OnComplete hooks), the cancellation-poll
-// granularity (CancelCheckCycles), and the engine shard count (Shards) are
-// observers, not machine state, and are excluded.
+// Function-valued fields (OnComplete/OnDispatch hooks), the
+// cancellation-poll granularity (CancelCheckCycles), the engine shard count
+// (Shards), the SpecValidate replay trace, and the derived per-workload
+// Backend.TaskDepth table are observers or derived inputs, not machine
+// state, and are excluded. The dispatch policy and worker classes ARE
+// machine state and are always included.
 func (c Config) CanonicalString() string {
 	var b strings.Builder
 	w := func(key string, v any) { fmt.Fprintf(&b, "%s=%v\n", key, v) }
@@ -77,6 +80,33 @@ func (c Config) CanonicalString() string {
 		w("be.core_speed", sb.String())
 	}
 	w("be.record_schedule", be.RecordSchedule)
+	// The dispatch policy and worker-class mix are machine state (they
+	// change which worker runs which task and when), so they always
+	// canonicalize — resolved through EffectivePolicy/-WorkerClasses so
+	// the top-level and Backend spellings yield one fingerprint. The
+	// class encoding is injective given the validated name charset.
+	w("be.policy", c.EffectivePolicy())
+	if classes := c.EffectiveWorkerClasses(); len(classes) > 0 {
+		var sb strings.Builder
+		for i := range classes {
+			wc := &classes[i]
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, "%s:%dx%g", wc.Name, wc.Count, wc.Speed)
+			if len(wc.KernelSpeed) > 0 {
+				sb.WriteByte('[')
+				for k, s := range wc.KernelSpeed {
+					if k > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, "%g", s)
+				}
+				sb.WriteByte(']')
+			}
+		}
+		w("be.worker_classes", sb.String())
+	}
 
 	w("memory", c.Memory)
 	w("line_detail_memory", c.LineDetailMemory)

@@ -2,6 +2,8 @@ package tss
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"tasksuperscalar/internal/backend"
 	"tasksuperscalar/internal/core"
@@ -40,6 +42,27 @@ func (k RuntimeKind) String() string {
 // block plus three indirect blocks).
 const MaxOperands = core.MaxOperands
 
+// WorkerClass re-exports the backend's worker-class descriptor so callers
+// configuring heterogeneous machines need not import internal packages.
+type WorkerClass = backend.WorkerClass
+
+// DispatchStats re-exports the backend's per-run dispatch accounting.
+type DispatchStats = backend.DispatchStats
+
+// DispatchRecord re-exports one observed dispatch decision.
+type DispatchRecord = backend.DispatchRecord
+
+// PolicyNames lists the built-in dispatch policies in a stable order.
+func PolicyNames() []string { return backend.PolicyNames() }
+
+// Built-in dispatch policy names (see internal/backend for semantics).
+const (
+	PolicyFIFO         = backend.PolicyFIFO
+	PolicyCriticalPath = backend.PolicyCriticalPath
+	PolicyHetero       = backend.PolicyHetero
+	PolicySpec         = backend.PolicySpec
+)
+
 // Config describes the simulated machine.
 type Config struct {
 	// Runtime selects the decode/schedule engine.
@@ -58,6 +81,22 @@ type Config struct {
 	// Backend sizes the Carbon-like queuing system. Cores is overridden
 	// by the Cores field above.
 	Backend backend.Config
+
+	// Policy selects the backend dispatch policy by name ("" = "fifo";
+	// see backend.PolicyNames). It is machine state — different policies
+	// schedule different (task, worker, cycle) triples — so it
+	// participates in canonicalization, unlike the Shards observer. A
+	// policy set here overrides Backend.Policy; both spellings
+	// canonicalize identically (EffectivePolicy).
+	Policy string
+
+	// WorkerClasses partitions the worker cores into named execution
+	// classes (backend.WorkerClass): the first class takes the first
+	// Count cores, and so on; leftover cores form the baseline. Class
+	// speeds scale execution under every policy; the hetero policy also
+	// places tasks by class affinity. Machine state, canonicalized.
+	// Overrides Backend.WorkerClasses when non-nil.
+	WorkerClasses []WorkerClass
 
 	// Memory enables the coherent memory hierarchy (L1/L2/directory/
 	// DRAM); without it operand staging is free and only decode and
@@ -110,6 +149,43 @@ func (c Config) WithCores(n int) Config {
 	return c
 }
 
+// EffectivePolicy resolves the dispatch policy: the top-level Policy wins,
+// then Backend.Policy, then "fifo". Canonicalization uses the resolved
+// value, so both spellings fingerprint identically.
+func (c Config) EffectivePolicy() string {
+	if c.Policy != "" {
+		return c.Policy
+	}
+	if c.Backend.Policy != "" {
+		return c.Backend.Policy
+	}
+	return backend.PolicyFIFO
+}
+
+// EffectiveWorkerClasses resolves the worker-class mix (top-level wins).
+func (c Config) EffectiveWorkerClasses() []WorkerClass {
+	if c.WorkerClasses != nil {
+		return c.WorkerClasses
+	}
+	return c.Backend.WorkerClasses
+}
+
+// validClassName matches class names that survive canonical encoding
+// unambiguously (no separators used by the encoding).
+func validClassName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Validate rejects unusable configurations.
 func (c Config) Validate() error {
 	if c.Cores < 1 {
@@ -123,7 +199,104 @@ func (c Config) Validate() error {
 			return fmt.Errorf("tss: hardware pipeline needs >=1 TRS and >=1 ORT")
 		}
 	}
+	if p := c.EffectivePolicy(); !backend.ValidPolicy(p) {
+		return fmt.Errorf("tss: unknown dispatch policy %q (have %v)", p, backend.PolicyNames())
+	}
+	classes := c.EffectiveWorkerClasses()
+	if len(classes) > 64 {
+		return fmt.Errorf("tss: at most 64 worker classes, got %d", len(classes))
+	}
+	total := 0
+	for i, wc := range classes {
+		if !validClassName(wc.Name) {
+			return fmt.Errorf("tss: worker class %d has invalid name %q (want [a-z0-9_-]+)", i, wc.Name)
+		}
+		if wc.Count < 1 {
+			return fmt.Errorf("tss: worker class %q needs a positive count, got %d", wc.Name, wc.Count)
+		}
+		if wc.Speed < 0 {
+			return fmt.Errorf("tss: worker class %q has negative speed %g", wc.Name, wc.Speed)
+		}
+		for k, s := range wc.KernelSpeed {
+			if s < 0 {
+				return fmt.Errorf("tss: worker class %q kernel %d has negative speed %g", wc.Name, k, s)
+			}
+		}
+		total += wc.Count
+	}
+	if total > c.Cores {
+		return fmt.Errorf("tss: worker classes cover %d cores but the machine has %d", total, c.Cores)
+	}
 	return nil
+}
+
+// ParseWorkerClasses parses the CLI worker-class syntax: comma-separated
+// `name:count@speed` entries, each optionally followed by a parenthesized
+// per-kernel speed list, e.g. "fast:8@2,slow:24@0.5" or
+// "gpu:4@1(4,0.25)". The speed suffix may be omitted (`name:count` = speed
+// 1). Validation beyond syntax (name charset, counts vs cores) happens in
+// Config.Validate.
+func ParseWorkerClasses(s string) ([]WorkerClass, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []WorkerClass
+	for _, entry := range splitTopLevel(s) {
+		entry = strings.TrimSpace(entry)
+		var kernels []float64
+		if i := strings.IndexByte(entry, '('); i >= 0 {
+			if !strings.HasSuffix(entry, ")") {
+				return nil, fmt.Errorf("tss: worker class %q: unclosed kernel-speed list", entry)
+			}
+			for _, ks := range strings.Split(entry[i+1:len(entry)-1], ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(ks), 64)
+				if err != nil {
+					return nil, fmt.Errorf("tss: worker class %q: bad kernel speed %q", entry, ks)
+				}
+				kernels = append(kernels, v)
+			}
+			entry = entry[:i]
+		}
+		speed := 0.0
+		if i := strings.IndexByte(entry, '@'); i >= 0 {
+			v, err := strconv.ParseFloat(entry[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tss: worker class %q: bad speed %q", entry, entry[i+1:])
+			}
+			speed = v
+			entry = entry[:i]
+		}
+		name, count, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("tss: worker class %q: want name:count[@speed]", entry)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil {
+			return nil, fmt.Errorf("tss: worker class %q: bad count %q", entry, count)
+		}
+		out = append(out, WorkerClass{Name: name, Count: n, Speed: speed, KernelSpeed: kernels})
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
 }
 
 // memSystemConfig derives the memory-system configuration.

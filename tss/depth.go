@@ -1,0 +1,51 @@
+package tss
+
+import (
+	"tasksuperscalar/internal/graph"
+	"tasksuperscalar/internal/taskmodel"
+)
+
+// TaskDepths computes each task's dependent-chain height — the length of
+// the longest dependency chain hanging off its outputs — against the
+// reference dependency graph, under the same renaming semantics the
+// pipeline uses. The table is indexed by task sequence number and feeds the
+// critical-path dispatch policy (backend.Config.TaskDepth): a task whose
+// completion unblocks a deep chain dispatches ahead of one that unblocks
+// nothing.
+//
+// The result is a pure function of the workload, not of the machine, which
+// is why TaskDepth stays out of config canonicalization.
+func TaskDepths(tasks []*taskmodel.Task, renaming bool) []uint32 {
+	if len(tasks) == 0 {
+		return nil
+	}
+	g := graph.Build(tasks, graph.Options{Renaming: renaming})
+	h := make([]uint32, len(tasks))
+	// Edges point from earlier to later tasks, so one reverse pass sees
+	// every successor's height before its predecessors need it.
+	for i := len(tasks) - 1; i >= 0; i-- {
+		var best uint32
+		for _, s := range g.Succ[i] {
+			if d := h[s] + 1; d > best {
+				best = d
+			}
+		}
+		h[i] = best
+	}
+	var maxSeq uint64
+	for _, t := range tasks {
+		if t.Seq > maxSeq {
+			maxSeq = t.Seq
+		}
+	}
+	if maxSeq == uint64(len(tasks)-1) {
+		// Sequence numbers are dense slice indices (the common case):
+		// h is already the seq-indexed table.
+		return h
+	}
+	out := make([]uint32, maxSeq+1)
+	for i, t := range tasks {
+		out[t.Seq] = h[i]
+	}
+	return out
+}

@@ -77,6 +77,19 @@ func FuzzConfigCanonicalString(f *testing.F) {
 				}
 			},
 			"backend_cores": func(c *Config) { c.Backend.Cores++ },
+			// The dispatch-policy axes are machine state: both the
+			// top-level and Backend spellings must move the fingerprint.
+			"policy":         func(c *Config) { c.Policy = "critical-path" },
+			"backend_policy": func(c *Config) { c.Backend.Policy = "spec" },
+			"worker_classes": func(c *Config) {
+				c.WorkerClasses = []WorkerClass{{Name: "fast", Count: 1, Speed: 2}}
+			},
+			"worker_class_speed": func(c *Config) {
+				c.WorkerClasses = []WorkerClass{{Name: "fast", Count: 1, Speed: 4}}
+			},
+			"worker_class_kernels": func(c *Config) {
+				c.WorkerClasses = []WorkerClass{{Name: "fast", Count: 1, Speed: 2, KernelSpeed: []float64{3}}}
+			},
 		}
 		for name, mutate := range mutations {
 			m := a
@@ -84,6 +97,17 @@ func FuzzConfigCanonicalString(f *testing.F) {
 			if m.Fingerprint() == a.Fingerprint() {
 				t.Fatalf("mutating %s did not change the fingerprint", name)
 			}
+		}
+
+		// The two spellings of the policy axes resolve to one machine,
+		// so they must canonicalize identically.
+		top, nested := a, a
+		top.Policy = "hetero"
+		top.WorkerClasses = []WorkerClass{{Name: "fast", Count: 1, Speed: 2}}
+		nested.Backend.Policy = "hetero"
+		nested.Backend.WorkerClasses = []WorkerClass{{Name: "fast", Count: 1, Speed: 2}}
+		if top.CanonicalString() != nested.CanonicalString() {
+			t.Fatal("top-level and Backend policy spellings canonicalize differently")
 		}
 
 		// The encoding is a newline-terminated k=v listing with unique

@@ -1,0 +1,91 @@
+package tss
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tasksuperscalar/internal/backend"
+)
+
+// fuzzPolicyClasses are the worker-class mixes the conservation fuzzer
+// cycles through (selector-indexed so the corpus stays a flat tuple).
+func fuzzPolicyClasses(classSel uint8, cores int) []WorkerClass {
+	switch classSel % 4 {
+	case 1:
+		return []WorkerClass{{Name: "fast", Count: cores / 4, Speed: 2}}
+	case 2:
+		return []WorkerClass{
+			{Name: "fast", Count: cores / 4, Speed: 2, KernelSpeed: []float64{4}},
+			{Name: "slow", Count: cores / 2, Speed: 0.5},
+		}
+	case 3:
+		return []WorkerClass{{Name: "one", Count: 1, Speed: 3}}
+	default:
+		return nil
+	}
+}
+
+// FuzzPolicyConservation extends the parallel-equivalence fuzz to the
+// policy laboratory: random LCG task graphs × a fuzzer-chosen policy and
+// worker-class mix must conserve tasks (every seq retires exactly once),
+// keep speculation fully validated, and stay byte-identical between the
+// serial and sharded engines.
+func FuzzPolicyConservation(f *testing.F) {
+	f.Add(uint64(1), uint16(120), uint8(8), uint8(4), uint8(2), uint8(0), uint8(0), uint8(3))
+	f.Add(uint64(42), uint16(200), uint8(1), uint8(12), uint8(0), uint8(1), uint8(1), uint8(2))
+	f.Add(uint64(7), uint16(90), uint8(15), uint8(2), uint8(4), uint8(2), uint8(2), uint8(4))
+	f.Add(uint64(0xfeed), uint16(150), uint8(3), uint8(8), uint8(1), uint8(3), uint8(3), uint8(2))
+
+	policies := backend.PolicyNames()
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, chainDepth, fanout, memMix, policySel, classSel, shards uint8) {
+		tasks := fuzzGraph(seed, int(n)%256+8, chainDepth, fanout, memMix)
+		ntasks := uint64(len(tasks))
+
+		cfg := DefaultConfig().WithCores(16)
+		cfg.Memory = false
+		cfg.Policy = policies[int(policySel)%len(policies)]
+		cfg.WorkerClasses = fuzzPolicyClasses(classSel, cfg.Cores)
+
+		seen := make([]int, ntasks)
+		cfg.OnComplete = func(seq, cycle uint64) {
+			if seq < ntasks {
+				seen[seq]++
+			}
+		}
+		want, err := RunTasks(tasks, cfg)
+		if err != nil {
+			t.Fatalf("serial (%s): %v", cfg.Policy, err)
+		}
+		cfg.OnComplete = nil
+		for seq, c := range seen {
+			if c != 1 {
+				t.Fatalf("policy %s: seq %d retired %d times", cfg.Policy, seq, c)
+			}
+		}
+		if want.Tasks != ntasks {
+			t.Fatalf("policy %s executed %d of %d tasks", cfg.Policy, want.Tasks, ntasks)
+		}
+		if want.Dispatch.SpecDispatches != want.Dispatch.SpecValidated {
+			t.Fatalf("policy %s: %d speculative dispatches but %d validated",
+				cfg.Policy, want.Dispatch.SpecDispatches, want.Dispatch.SpecValidated)
+		}
+
+		sharded := cfg
+		sharded.Shards = 2 + int(shards)%7 // 2..8
+		if sharded.Fingerprint() != cfg.Fingerprint() {
+			t.Fatalf("Shards=%d changed the config fingerprint", sharded.Shards)
+		}
+		got, err := RunTasks(tasks, sharded)
+		if err != nil {
+			t.Fatalf("shards %d (%s): %v", sharded.Shards, cfg.Policy, err)
+		}
+
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(got)
+		if string(wb) != string(gb) {
+			t.Fatalf("policy %s diverged at %d shards\nserial: %s\nsharded: %s",
+				cfg.Policy, sharded.Shards, wb, gb)
+		}
+	})
+}

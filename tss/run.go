@@ -38,6 +38,11 @@ type Result struct {
 	// WindowMax is the peak number of in-flight decoded tasks.
 	WindowMax int64
 
+	// Dispatch carries the backend's per-run dispatch-policy accounting
+	// (policy name, dispatch counts, speculation validation, ready-set
+	// peak, scheduled work cycles).
+	Dispatch DispatchStats
+
 	// Frontend carries hardware-pipeline statistics (hardware runs only).
 	Frontend core.FrontendStats
 	// Software carries software-runtime statistics (software runs only).
@@ -88,6 +93,13 @@ func RunTasks(tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 func RunTasksCtx(ctx context.Context, tasks []*taskmodel.Task, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	// The critical-path policy wants the dependent-chain height table;
+	// with the whole task list in hand it is derivable here. Streaming
+	// entry points have no list, so their tasks fall back to depth 0
+	// (arrival order) unless the caller supplies Backend.TaskDepth.
+	if cfg.Backend.TaskDepth == nil && cfg.EffectivePolicy() == backend.PolicyCriticalPath {
+		cfg.Backend.TaskDepth = TaskDepths(tasks, cfg.Frontend.Renaming)
 	}
 	st := newCountingStream(taskmodel.NewSliceStream(tasks), nil)
 	return dispatchRun(ctx, st, cfg, true)
@@ -151,6 +163,11 @@ func buildMachine(cfg Config) *machine {
 	}
 	bcfg := cfg.Backend
 	bcfg.Cores = cfg.Cores
+	// Resolve the sweepable policy axes into the backend config: the
+	// top-level fields win, and the backend always sees the resolved
+	// policy name (never ""), matching what CanonicalString fingerprints.
+	bcfg.Policy = cfg.EffectivePolicy()
+	bcfg.WorkerClasses = cfg.EffectiveWorkerClasses()
 	if cfg.OnComplete != nil {
 		hook := cfg.OnComplete
 		bcfg.OnComplete = func(seq uint64, at sim.Cycle) { hook(seq, uint64(at)) }
@@ -184,6 +201,7 @@ func (m *machine) finish(res *Result, n, work uint64, record bool) {
 	res.Cycles = uint64(m.eng.Now())
 	res.Tasks = m.back.Executed()
 	res.TotalWorkCycles = work
+	res.Dispatch = m.back.Dispatch()
 	res.Utilization = m.back.Utilization(m.eng.Now()) / float64(res.Cores)
 	if record {
 		res.Start, res.Finish = m.back.Schedule(int(n))
