@@ -167,7 +167,10 @@ func writeSink(sink *experiments.Sink, jsonOut string) {
 func runRemote(base, token string, ids []string, full bool, seed int64, cores, sweepWorkers int, policy string, sink *experiments.Sink) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cl := service.NewClient(base, service.WithToken(token))
+	// Retry policy: a content-addressed API is idempotent, so riding out a
+	// dispatcher restart or a transient 503 cannot double-run an experiment.
+	cl := service.NewClient(base, service.WithToken(token),
+		service.WithRetry(service.RetryPolicy{Attempts: 8, Base: 200 * time.Millisecond, Max: 5 * time.Second}))
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.Get(id)

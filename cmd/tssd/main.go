@@ -17,6 +17,13 @@
 // survives restarts. Corrupted or foreign-version files are treated as
 // misses and removed, never served.
 //
+// With -journal-dir the daemon additionally keeps a durable job journal:
+// every accepted job is fsync'd to an append-only log before it is queued,
+// and a daemon restarted on the same journal re-enqueues every job that had
+// not settled — determinism plus the content-addressed store make the
+// recovered results byte-identical, and work that already reached the store
+// is never executed twice. Pair it with -cache-dir; see docs/SERVICE.md.
+//
 // Fleet mode (multi-node):
 //
 //	tssd -fleet -addr :7077                        # dispatcher: no local jobs
@@ -62,20 +69,26 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":7077", "listen address")
-		workers      = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
-		queueDepth   = flag.Int("queue", 1024, "max queued jobs before submits get 503")
-		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
-		cacheMB      = flag.Int("cache-mb", 64, "result cache size bound (MiB)")
-		maxJobs      = flag.Int("max-jobs", 4096, "job records retained; oldest finished jobs are evicted beyond this")
-		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result store (empty = in-memory cache only)")
-		cacheDiskMB  = flag.Int("cache-disk-mb", 1024, "persistent store size bound (MiB); least-recently-used results are evicted beyond it")
-		fleetMode    = flag.Bool("fleet", false, "run as a fleet dispatcher: jobs are fanned out to workers that register via -join (or POST /v1/workers)")
-		join         = flag.String("join", "", "dispatcher base URL to join as a fleet worker")
-		advertise    = flag.String("advertise", "", "base URL at which the dispatcher can reach this worker (default derived from -addr)")
-		authFile     = flag.String("auth-file", "", "JSON tenant/token table; when set, every /v1 endpoint requires a bearer token (see docs/SERVICE.md)")
-		token        = flag.String("token", "", "bearer token this daemon presents to other daemons (-join registration, heartbeats, and dispatch)")
-		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "fleet heartbeat interval: workers beat at this rate, the dispatcher ages liveness by it (0 with -join = register once, no heartbeats)")
+		addr             = flag.String("addr", ":7077", "listen address")
+		workers          = flag.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queueDepth       = flag.Int("queue", 1024, "max queued jobs before submits get 503")
+		cacheEntries     = flag.Int("cache-entries", 1024, "result cache entry bound")
+		cacheMB          = flag.Int("cache-mb", 64, "result cache size bound (MiB)")
+		maxJobs          = flag.Int("max-jobs", 4096, "job records retained; oldest finished jobs are evicted beyond this")
+		cacheDir         = flag.String("cache-dir", "", "directory for the persistent result store (empty = in-memory cache only)")
+		cacheDiskMB      = flag.Int("cache-disk-mb", 1024, "persistent store size bound (MiB); least-recently-used results are evicted beyond it")
+		fleetMode        = flag.Bool("fleet", false, "run as a fleet dispatcher: jobs are fanned out to workers that register via -join (or POST /v1/workers)")
+		join             = flag.String("join", "", "dispatcher base URL to join as a fleet worker")
+		advertise        = flag.String("advertise", "", "base URL at which the dispatcher can reach this worker (default derived from -addr)")
+		authFile         = flag.String("auth-file", "", "JSON tenant/token table; when set, every /v1 endpoint requires a bearer token (see docs/SERVICE.md)")
+		token            = flag.String("token", "", "bearer token this daemon presents to other daemons (-join registration, heartbeats, and dispatch)")
+		heartbeat        = flag.Duration("heartbeat", 5*time.Second, "fleet heartbeat interval: workers beat at this rate, the dispatcher ages liveness by it (0 with -join = register once, no heartbeats)")
+		journalDir       = flag.String("journal-dir", "", "directory for the durable job journal; accepted jobs survive a daemon crash and are recovered on restart (empty = no journal)")
+		jobTimeout       = flag.Duration("job-timeout", 0, "per-job execution deadline; a job (or sweep point) running longer fails with a deadline error (0 = no deadline)")
+		dispatchRetries  = flag.Int("dispatch-retries", 0, "fleet mode: worker-level failures retried per job before it fails (0 = 4 default)")
+		noWorkerWait     = flag.Duration("no-worker-wait", 0, "fleet mode: how long dispatch waits for a dispatchable worker before failing a job (0 = 30s default, negative = fail fast)")
+		breakerThreshold = flag.Int("breaker-threshold", 0, "fleet mode: consecutive failures that trip a worker's circuit breaker (0 = 3 default)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "fleet mode: how long a tripped worker sits out before a half-open probe (0 = 5s default)")
 	)
 	flag.Parse()
 
@@ -110,6 +123,12 @@ func main() {
 		Auth:              auth,
 		PeerToken:         *token,
 		HeartbeatInterval: *heartbeat,
+		JournalDir:        *journalDir,
+		JobTimeout:        *jobTimeout,
+		DispatchRetries:   *dispatchRetries,
+		NoWorkerWait:      *noWorkerWait,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tssd: %v\n", err)

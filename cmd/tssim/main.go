@@ -300,7 +300,11 @@ func runRemote(base, token, workload string, tasks int, seed int64, runtimeKind 
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cl := service.NewClient(base, service.WithToken(token))
+	// The retry policy rides through transient daemon trouble — a restart
+	// mid-wait, a 503 while the queue drains — safely, because submissions
+	// are content-addressed and therefore idempotent.
+	cl := service.NewClient(base, service.WithToken(token),
+		service.WithRetry(service.RetryPolicy{Attempts: 8, Base: 200 * time.Millisecond, Max: 5 * time.Second}))
 	st, err := cl.Submit(ctx, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tssim: %v\n", err)

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"encoding/json"
 )
@@ -28,6 +30,7 @@ type Client struct {
 	http      *http.Client
 	token     string
 	userAgent string
+	retry     RetryPolicy
 }
 
 // ClientOption configures a Client at construction.
@@ -48,6 +51,40 @@ func WithHTTPClient(h *http.Client) ClientOption {
 // WithUserAgent overrides the User-Agent header.
 func WithUserAgent(ua string) ClientOption {
 	return func(c *Client) { c.userAgent = ua }
+}
+
+// RetryPolicy bounds the client's transparent retries. The zero policy (or
+// Attempts <= 1) disables retrying entirely — every call is single-shot, the
+// pre-retry behaviour.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per call, first attempt
+	// included. 5 means up to 4 retries.
+	Attempts int
+	// Base and Max bound the exponential backoff between attempts
+	// (defaults 100ms and 5s). Each delay is jittered ±50%.
+	Base time.Duration
+	Max  time.Duration
+	// Seed drives the jitter stream, making retry timing reproducible. 0
+	// derives a seed from the daemon URL.
+	Seed int64
+}
+
+// WithRetry makes the client retry failed calls under the given policy.
+//
+// A call is retried only when it failed in a way the daemon itself marks as
+// transient: a transport-level error (connection refused/reset mid-restart —
+// *url.Error) or an API error whose envelope carries `retryable: true` (503
+// queue-full, draining, 429 quota). Terminal rejections (bad spec, auth,
+// not-found) fail immediately. Retrying is safe because the API is
+// idempotent by construction — submissions are content-addressed, so a
+// replayed Submit coalesces with or cache-hits the first attempt rather than
+// running the job twice.
+//
+// With a retry policy installed, Wait additionally survives a severed event
+// stream by reconnecting (the job's status is re-checked between attempts),
+// so a watcher rides through a dispatcher restart.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
 // NewClient returns a client for the daemon at base.
@@ -90,49 +127,98 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	return req, nil
 }
 
+// retryable reports whether err is worth retrying: a transport error (the
+// daemon was unreachable or the connection died — *url.Error) or an API
+// error the daemon explicitly marked transient in its envelope. A done ctx
+// is never retryable: the caller gave up, not the daemon.
+func (c *Client) retryable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// retrySeed is the jitter seed for one retry loop, keyed by the call path so
+// concurrent calls through one client don't share a delay schedule.
+func (c *Client) retrySeed(path string) int64 {
+	if c.retry.Seed != 0 {
+		return c.retry.Seed ^ seedFromString(path)
+	}
+	return seedFromString(c.base + path)
+}
+
+// withRetry runs fn under the client's retry policy. fn must build its
+// request from scratch on every call (bodies are consumed per attempt).
+func (c *Client) withRetry(ctx context.Context, path string, fn func() error) error {
+	err := fn()
+	if c.retry.Attempts <= 1 || err == nil {
+		return err
+	}
+	bo := newBackoff(c.retry.Base, c.retry.Max, c.retrySeed(path))
+	for attempt := 1; attempt < c.retry.Attempts && c.retryable(ctx, err); attempt++ {
+		if !sleepCtx(ctx, bo.next()) {
+			return err
+		}
+		err = fn()
+	}
+	return err
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return decodeAPIError(resp)
-	}
-	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.withRetry(ctx, path, func() error {
+		req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeAPIError(resp)
+		}
+		defer resp.Body.Close()
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // doJSON issues a request with an optional JSON body and decodes a 2xx
 // response into out.
 func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
-	var r io.Reader
+	var b []byte
 	if body != nil {
-		b, err := json.Marshal(body)
+		var err error
+		if b, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	return c.withRetry(ctx, path, func() error {
+		var r io.Reader
+		if b != nil {
+			r = bytes.NewReader(b)
+		}
+		req, err := c.newRequest(ctx, method, path, r)
 		if err != nil {
 			return err
 		}
-		r = bytes.NewReader(b)
-	}
-	req, err := c.newRequest(ctx, method, path, r)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return decodeAPIError(resp)
-	}
-	defer resp.Body.Close()
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			return decodeAPIError(resp)
+		}
+		defer resp.Body.Close()
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // DispatchPathHeader carries the chain of dispatcher instance IDs a job has
@@ -154,23 +240,26 @@ func (c *Client) SubmitVia(ctx context.Context, spec *JobSpec, via []string) (*S
 	if err != nil {
 		return nil, err
 	}
-	req, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	if len(via) > 0 {
-		req.Header.Set(DispatchPathHeader, strings.Join(via, ","))
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, decodeAPIError(resp)
-	}
-	defer resp.Body.Close()
 	var st SubmitStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	err = c.withRetry(ctx, "/v1/jobs", func() error {
+		req, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if len(via) > 0 {
+			req.Header.Set(DispatchPathHeader, strings.Join(via, ","))
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return decodeAPIError(resp)
+		}
+		defer resp.Body.Close()
+		return json.NewDecoder(resp.Body).Decode(&st)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -251,19 +340,28 @@ func (c *Client) Cancel(ctx context.Context, id string) (*SubmitStatus, error) {
 // Result fetches a finished job's raw canonical result bytes — byte-identical
 // to RunSpec of the same spec, whether simulated or served from cache.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	path := "/v1/jobs/" + id + "/result"
+	var out []byte
+	err := c.withRetry(ctx, path, func() error {
+		req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return decodeAPIError(resp)
+		}
+		defer resp.Body.Close()
+		out, err = io.ReadAll(resp.Body)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
-	}
-	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	return out, nil
 }
 
 // Stats fetches the daemon's /stats counters.
@@ -344,15 +442,42 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 // progress and sweep log lines live. A cancelled ctx aborts the wait
 // promptly with ctx's error (the job itself keeps running; use Cancel to
 // stop it).
+//
+// Under a WithRetry policy, a stream that dies mid-flight (connection cut,
+// daemon restarting) is reconnected up to Attempts times with backoff: the
+// job's status is re-checked first — a job that settled while the stream
+// was down returns immediately — and a fresh stream replays the job's event
+// history, so onEvent may observe events more than once across a reconnect.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*SubmitStatus, error) {
-	err := c.Events(ctx, id, func(ev Event) error {
-		if onEvent != nil {
-			onEvent(ev)
+	bo := newBackoff(c.retry.Base, c.retry.Max, c.retrySeed("/v1/jobs/"+id+"/events"))
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if !sleepCtx(ctx, bo.next()) {
+				return nil, err
+			}
+			// The job may have settled while the stream was down.
+			if st, jerr := c.Job(ctx, id); jerr == nil && terminalStatus(st.Status) {
+				return st, nil
+			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		err = c.Events(ctx, id, func(ev Event) error {
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			return nil
+		})
+		if err == nil {
+			break
+		}
+		// A stream that died mid-flight is transient by definition — the
+		// read error is a raw net error, not *url.Error — so reconnect on
+		// anything except an explicit terminal API rejection (404, 401).
+		var ae *APIError
+		terminal := errors.As(err, &ae) && !ae.Retryable
+		if attempt+1 >= c.retry.Attempts || ctx.Err() != nil || terminal {
+			return nil, err
+		}
 	}
 	st, err := c.Job(ctx, id)
 	if err != nil {

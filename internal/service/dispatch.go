@@ -47,10 +47,12 @@ type fleet struct {
 	slots chan struct{} // bounds concurrent dispatches (QueueDepth)
 	stop  chan struct{} // ends the background health re-probe loop
 
-	mu      sync.Mutex
-	workers []*workerNode // registration order
-	nextID  uint64
-	retries uint64 // dispatch attempts moved to another node after a worker failure
+	mu        sync.Mutex
+	workers   []*workerNode // registration order
+	nextID    uint64
+	retries   uint64 // worker-level failures retried (on this or another node)
+	exhausted uint64 // jobs failed after burning their whole retry budget
+	starved   uint64 // waits entered because zero workers were dispatchable
 }
 
 func newFleet(s *Server) *fleet {
@@ -128,6 +130,7 @@ func (f *fleet) dispatch(j *job) {
 	// immediately.
 	e.transition(StatusQueued, StatusRunning)
 
+	f.s.journalStart(j)
 	if result, ok := f.s.diskGet(j.key); ok {
 		f.s.finishJobFromDisk(j, result)
 		return
@@ -136,56 +139,98 @@ func (f *fleet) dispatch(j *job) {
 		f.s.runShardedSweep(j)
 		return
 	}
-	result, err := f.execute(j)
-	f.s.finishJob(j, result, err)
+	ctx, cancel := f.s.execCtx(e)
+	result, err := f.execute(ctx, j)
+	cancel()
+	f.s.finishJob(j, result, f.s.deadlineErr(e, err))
 }
 
 // execute runs one job's remote attempt loop: pick a worker, relay, and —
-// when a worker dies mid-job — retry on another node until the job finishes,
-// is cancelled, or no healthy worker remains. It returns the result instead
-// of settling the job, so the primary dispatch path and the sweep-point
+// when a worker fails mid-job — back off (exponential, seeded ±50% jitter)
+// and retry, preferring a different node, until the job finishes, is
+// cancelled, the retry budget (Config.DispatchRetries) is exhausted, or the
+// deadline passes. A transient error no longer excludes the worker from the
+// job forever: the circuit breaker decides who is dispatchable, so a fleet
+// whose nodes all hiccuped once still serves jobs. When zero workers are
+// dispatchable the job degrades gracefully — it waits (bounded by
+// Config.NoWorkerWait and ctx) for a worker to register, revive, or exit
+// cooldown instead of failing instantly. It returns the result instead of
+// settling the job, so the primary dispatch path and the sweep-point
 // resolver share it. Points do not hold dispatch slots: a sweep occupies one
 // slot while its points fan out bounded by the sweep's own pool width.
-func (f *fleet) execute(j *job) ([]byte, error) {
+func (f *fleet) execute(ctx context.Context, j *job) ([]byte, error) {
 	e := j.exec
-	var excluded map[string]bool
+	cfg := f.s.cfg
+	bo := newBackoff(cfg.RetryBackoff, cfg.RetryBackoffMax, seedFromString(j.key))
 	var lastErr error
+	lastFailed := ""
+	failures := 0
+	waitDeadline := time.Now().Add(cfg.NoWorkerWait)
+	waitLogged := false
 	for {
-		if err := e.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dispatch cancelled: %w", err)
 		}
-		w := f.pick(excluded)
+		w := f.pick(lastFailed)
 		if w == nil {
-			if lastErr == nil {
-				lastErr = errors.New("no healthy workers registered")
+			// Graceful degradation: zero dispatchable workers right now is
+			// not a job failure yet — wait for the fleet to come back.
+			if !time.Now().Before(waitDeadline) {
+				if lastErr == nil {
+					lastErr = errors.New("no dispatchable workers registered")
+				}
+				return nil, fmt.Errorf("fleet: no dispatchable worker within %s: %w", cfg.NoWorkerWait, lastErr)
 			}
-			return nil, fmt.Errorf("fleet: %w", lastErr)
+			if !waitLogged {
+				waitLogged = true
+				f.mu.Lock()
+				f.starved++
+				f.mu.Unlock()
+				f.s.appendLog(e, "[dispatcher] no dispatchable workers; holding the job until one returns")
+			}
+			sleepCtx(ctx, cfg.RetryBackoff)
+			continue
 		}
-		result, err := f.runOn(w, j)
+		waitLogged = false
+		result, err := f.runOn(ctx, w, j)
 		var jobErr remoteJobError
 		switch {
 		case err == nil:
+			w.noteSuccess()
 			return result, nil
-		case e.ctx.Err() != nil:
-			// The caller classifies this as cancelled via the context.
+		case ctx.Err() != nil:
+			// The caller classifies this as cancelled (or past deadline) via
+			// the context. The aborted attempt says nothing about the
+			// worker's health; release a half-open probe slot if we held it.
+			w.releaseHalfOpen()
 			return nil, err
 		case errors.As(err, &jobErr):
-			// Deterministic failure: retrying elsewhere reproduces it.
+			// Deterministic failure: retrying elsewhere reproduces it. The
+			// worker did its part correctly — this is a success for its
+			// breaker.
+			w.noteSuccess()
 			return nil, err
 		default:
 			// Worker-level failure (connection refused, SSE cut mid-job,
-			// 5xx): mark the node unhealthy, exclude it from this job's
-			// future attempts, and move on.
+			// 5xx): feed the node's breaker, spend one unit of retry budget,
+			// back off, and go around — preferring a different node.
 			lastErr = fmt.Errorf("worker %s (%s): %w", w.id, w.url, err)
-			if excluded == nil {
-				excluded = make(map[string]bool)
+			lastFailed = w.id
+			w.noteFailure(cfg.BreakerThreshold)
+			failures++
+			if failures > cfg.DispatchRetries {
+				f.mu.Lock()
+				f.exhausted++
+				f.mu.Unlock()
+				return nil, fmt.Errorf("fleet: retry budget exhausted after %d worker failures: %w",
+					failures, lastErr)
 			}
-			excluded[w.id] = true
-			w.noteFailure()
 			f.mu.Lock()
 			f.retries++
 			f.mu.Unlock()
-			f.s.appendLog(e, fmt.Sprintf("[dispatcher] worker %s failed (%v); retrying on another node", w.id, err))
+			f.s.appendLog(e, fmt.Sprintf("[dispatcher] worker %s failed (%v); retry %d/%d",
+				w.id, err, failures, cfg.DispatchRetries))
+			sleepCtx(ctx, bo.next())
 		}
 	}
 }
@@ -217,10 +262,10 @@ func (f *fleet) shardWidth() int {
 // the dispatcher-side execution, and fetch the canonical result bytes. Any
 // error that is not a remoteJobError is a worker-level failure the caller
 // may retry elsewhere; a cancelled dispatcher context additionally
-// best-effort cancels the job on the worker before returning.
-func (f *fleet) runOn(w *workerNode, j *job) ([]byte, error) {
+// best-effort cancels the job on the worker before returning. ctx is the
+// execution context, already bounded by the per-job deadline.
+func (f *fleet) runOn(ctx context.Context, w *workerNode, j *job) ([]byte, error) {
 	e := j.exec
-	ctx := e.ctx
 	w.begin()
 	defer w.end()
 
@@ -296,38 +341,74 @@ func (f *fleet) relay(e *execution, ev Event) {
 	}
 }
 
-// pick chooses the healthy, non-excluded, non-draining worker with the
-// fewest active dispatches (ties: registration order). If no candidate is
-// healthy, each dispatchable one is probed once via /healthz so a recovered
-// node rejoins the rotation without manual intervention. Draining workers
-// are never picked — that is the whole drain contract.
-func (f *fleet) pick(excluded map[string]bool) *workerNode {
+// pick chooses the worker for the next attempt, in preference order:
+//
+//  1. healthy, breaker-closed workers, fewest active dispatches first
+//     (ties: registration order), skipping `avoid` — the worker that just
+//     failed this job — while any alternative exists;
+//  2. a tripped worker whose cooldown has expired: it is claimed into the
+//     half-open state and gets exactly this one probe job — success revives
+//     it (noteSuccess), failure re-trips it;
+//  3. a suspect join-only worker that answers a /healthz probe, so a
+//     recovered node rejoins the rotation without manual intervention.
+//
+// Draining and dead workers are never picked — that is the whole drain and
+// liveness contract. `avoid` is only a preference: a one-worker fleet still
+// retries on the worker that just failed.
+func (f *fleet) pick(avoid string) *workerNode {
+	now := time.Now()
+	cooldown := f.s.cfg.BreakerCooldown
 	f.mu.Lock()
-	candidates := make([]*workerNode, 0, len(f.workers))
-	for _, w := range f.workers {
-		if !excluded[w.id] {
-			candidates = append(candidates, w)
-		}
-	}
+	candidates := append([]*workerNode(nil), f.workers...)
 	f.mu.Unlock()
 
-	var best *workerNode
-	bestActive := 0
-	for _, w := range candidates {
-		ok, healthy, active := w.dispatchable()
-		if !ok || !healthy {
-			continue
+	pass := func(includeAvoid bool) *workerNode {
+		var best *workerNode
+		bestActive := 0
+		for _, w := range candidates {
+			if w.id == avoid && !includeAvoid {
+				continue
+			}
+			ok, healthy, active := w.dispatchable()
+			if !ok || !healthy || !w.breakerClosed() {
+				continue
+			}
+			if best == nil || active < bestActive {
+				best, bestActive = w, active
+			}
 		}
-		if best == nil || active < bestActive {
-			best, bestActive = w, active
-		}
-	}
-	if best != nil {
 		return best
 	}
+	if best := pass(false); best != nil {
+		return best
+	}
+	// Half-open probes: one tripped-but-cooled worker gets one job.
 	for _, w := range candidates {
-		if ok, _, _ := w.dispatchable(); ok && w.probe() {
+		if ok, _, _ := w.dispatchable(); ok && w.claimHalfOpen(now, cooldown) {
 			return w
+		}
+	}
+	// Probe-based revival for suspect join-only workers (pre-heartbeat
+	// behavior), still subject to the breaker.
+	for _, w := range candidates {
+		if w.id == avoid {
+			continue
+		}
+		if ok, _, _ := w.dispatchable(); ok && w.breakerClosed() && w.probe() {
+			return w
+		}
+	}
+	if best := pass(true); best != nil {
+		return best
+	}
+	if avoid != "" {
+		for _, w := range candidates {
+			if w.id != avoid {
+				continue
+			}
+			if ok, _, _ := w.dispatchable(); ok && w.breakerClosed() && w.probe() {
+				return w
+			}
 		}
 	}
 	return nil
@@ -335,9 +416,16 @@ func (f *fleet) pick(excluded map[string]bool) *workerNode {
 
 // FleetStats is the dispatcher section of GET /stats.
 type FleetStats struct {
-	// Retries counts dispatch attempts that moved to another node after a
-	// worker failure.
-	Retries uint64 `json:"retries"`
+	// Retries counts worker-level failures that were retried (each burns one
+	// unit of a job's DispatchRetries budget); Exhausted counts jobs failed
+	// after burning the whole budget; Starved counts waits entered because
+	// zero workers were dispatchable. Conservation: every worker-level
+	// failure is either one of the Retries or the last straw of an
+	// Exhausted job, so sum(worker.Failures) == Retries + Exhausted once
+	// the fleet drains.
+	Retries   uint64 `json:"retries"`
+	Exhausted uint64 `json:"exhausted"`
+	Starved   uint64 `json:"starved"`
 	// Workers lists every registered worker with its dispatch counters.
 	Workers []WorkerInfo `json:"workers"`
 }
@@ -345,7 +433,10 @@ type FleetStats struct {
 func (f *fleet) stats() FleetStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	st := FleetStats{Retries: f.retries, Workers: make([]WorkerInfo, 0, len(f.workers))}
+	st := FleetStats{
+		Retries: f.retries, Exhausted: f.exhausted, Starved: f.starved,
+		Workers: make([]WorkerInfo, 0, len(f.workers)),
+	}
 	for _, w := range f.workers {
 		st.Workers = append(st.Workers, w.info())
 	}

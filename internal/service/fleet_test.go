@@ -288,7 +288,10 @@ func TestFleetDispatchCycleFailsFast(t *testing.T) {
 
 // A dispatcher with no live workers fails the job rather than hanging.
 func TestFleetNoWorkersFailsFast(t *testing.T) {
-	disp, err := New(Config{Fleet: true})
+	// NoWorkerWait < 0 opts out of graceful degradation: with no workers
+	// joined, dispatch fails the job immediately instead of waiting for one
+	// to appear (see TestFleetNoWorkerWaitDegradation for the default).
+	disp, err := New(Config{Fleet: true, NoWorkerWait: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

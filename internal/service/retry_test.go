@@ -1,0 +1,472 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Backoff jitter bounds: every delay lands in [d/2, 3d/2) of the unjittered
+// exponential, the exponential caps at max, and the stream is a pure
+// function of its seed.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	a := newBackoff(base, max, 42)
+	b := newBackoff(base, max, 42)
+	d := base
+	for i := 0; i < 20; i++ {
+		got := a.next()
+		if got2 := b.next(); got != got2 {
+			t.Fatalf("step %d: same-seed backoffs disagree: %v vs %v", i, got, got2)
+		}
+		if got < d/2 || got >= d/2+d {
+			t.Fatalf("step %d: delay %v outside [%v, %v)", i, got, d/2, d/2+d)
+		}
+		if d < max {
+			d *= 2
+			if d > max {
+				d = max
+			}
+		}
+	}
+	// Distinct seeds should diverge somewhere in 20 draws.
+	c := newBackoff(base, max, 43)
+	a2 := newBackoff(base, max, 42)
+	diverged := false
+	for i := 0; i < 20; i++ {
+		if c.next() != a2.next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical backoff streams")
+	}
+	if seedFromString("worker-a") == seedFromString("worker-b") {
+		t.Fatal("seedFromString collided on distinct inputs")
+	}
+}
+
+// flakyWorker fronts a real worker daemon with a proxy that fails POST
+// /v1/jobs while `failing` is set (everything else — health probes, SSE,
+// results — passes through), which is how tests produce worker-level
+// dispatch failures on demand.
+type flakyWorker struct {
+	srv     *Server
+	hs      *httptest.Server // the real worker
+	proxy   *httptest.Server // what the dispatcher sees
+	failing atomic.Bool
+	fails   atomic.Uint64
+}
+
+func newFlakyWorker(t *testing.T, cfg Config) *flakyWorker {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	u, _ := url.Parse(hs.URL)
+	rp := httputil.NewSingleHostReverseProxy(u)
+	fw := &flakyWorker{srv: srv, hs: hs}
+	fw.proxy = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fw.failing.Load() && r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			fw.fails.Add(1)
+			http.Error(w, "injected worker failure", http.StatusBadGateway)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { fw.proxy.Close(); hs.Close(); srv.Close() })
+	return fw
+}
+
+// The retry accounting bar: a worker that fails twice and then recovers
+// costs exactly two budget units, the job still succeeds, and the
+// conservation identity sum(worker.Failures) == Retries + Exhausted holds.
+func TestFleetRetryAccountingConserved(t *testing.T) {
+	disp, err := New(Config{
+		Fleet: true, DispatchRetries: 5,
+		RetryBackoff: time.Millisecond, RetryBackoffMax: 5 * time.Millisecond,
+		BreakerThreshold: 10, // keep the breaker out of this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhs := httptest.NewServer(disp.Handler())
+	t.Cleanup(func() { dhs.Close(); disp.Close() })
+	cl := NewClient(dhs.URL)
+	ctx := context.Background()
+
+	fw := newFlakyWorker(t, Config{Workers: 2})
+	if _, err := cl.JoinWorker(ctx, fw.proxy.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	fw.failing.Store(true)
+	go func() {
+		// Recover the worker after it has eaten two submissions.
+		for fw.fails.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		fw.failing.Store(false)
+	}()
+
+	st, err := cl.Submit(ctx, quickSpec(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	if fin.Status != StatusDone {
+		t.Fatalf("job through flaky worker ended %s: %s", fin.Status, fin.Error)
+	}
+
+	fs := disp.Stats().Fleet
+	if fs.Retries != 2 || fs.Exhausted != 0 {
+		t.Fatalf("retries=%d exhausted=%d, want 2/0", fs.Retries, fs.Exhausted)
+	}
+	var failures uint64
+	for _, w := range fs.Workers {
+		failures += w.Failures
+	}
+	if failures != fs.Retries+fs.Exhausted {
+		t.Fatalf("conservation: worker failures %d != retries %d + exhausted %d",
+			failures, fs.Retries, fs.Exhausted)
+	}
+	// The recovery closed the breaker and returned the worker to healthy.
+	if w := fs.Workers[0]; w.Breaker != BreakerClosed || w.State != WorkerHealthy {
+		t.Fatalf("recovered worker: breaker=%s state=%s", w.Breaker, w.State)
+	}
+}
+
+// A worker that never recovers: the job fails once the budget is spent, with
+// Exhausted counting it and the conservation identity intact.
+func TestFleetRetryBudgetExhausted(t *testing.T) {
+	disp, err := New(Config{
+		Fleet: true, DispatchRetries: 3,
+		RetryBackoff: time.Millisecond, RetryBackoffMax: 5 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 2 * time.Millisecond,
+		NoWorkerWait: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhs := httptest.NewServer(disp.Handler())
+	t.Cleanup(func() { dhs.Close(); disp.Close() })
+	cl := NewClient(dhs.URL)
+	ctx := context.Background()
+
+	fw := newFlakyWorker(t, Config{Workers: 1})
+	if _, err := cl.JoinWorker(ctx, fw.proxy.URL); err != nil {
+		t.Fatal(err)
+	}
+	fw.failing.Store(true)
+
+	st, err := cl.Submit(ctx, quickSpec(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "retry budget exhausted") {
+		t.Fatalf("exhausted job: status=%s error=%q", fin.Status, fin.Error)
+	}
+
+	fs := disp.Stats().Fleet
+	if fs.Exhausted != 1 || fs.Retries != 3 {
+		t.Fatalf("retries=%d exhausted=%d, want 3/1", fs.Retries, fs.Exhausted)
+	}
+	var failures uint64
+	for _, w := range fs.Workers {
+		failures += w.Failures
+	}
+	if failures != fs.Retries+fs.Exhausted {
+		t.Fatalf("conservation: worker failures %d != retries+exhausted %d",
+			failures, fs.Retries+fs.Exhausted)
+	}
+	if w := fs.Workers[0]; w.BreakerTrips == 0 {
+		t.Fatalf("persistently failing worker never tripped its breaker: %+v", w)
+	}
+}
+
+// The breaker lifecycle: consecutive failures trip the worker out of the
+// rotation, and after the cooldown a half-open probe job whose success
+// closes the breaker returns it — no operator action, no re-registration.
+func TestBreakerHalfOpenRevival(t *testing.T) {
+	disp, err := New(Config{
+		Fleet: true, DispatchRetries: 1,
+		RetryBackoff: time.Millisecond, RetryBackoffMax: 5 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 10 * time.Millisecond,
+		NoWorkerWait: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhs := httptest.NewServer(disp.Handler())
+	t.Cleanup(func() { dhs.Close(); disp.Close() })
+	cl := NewClient(dhs.URL)
+	ctx := context.Background()
+
+	fw := newFlakyWorker(t, Config{Workers: 2})
+	if _, err := cl.JoinWorker(ctx, fw.proxy.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 1 burns its budget (2 failures ≥ threshold): the breaker trips.
+	fw.failing.Store(true)
+	st, err := cl.Submit(ctx, quickSpec(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return s.Status == StatusFailed }, "failed")
+	if w := disp.Stats().Fleet.Workers[0]; w.Breaker != BreakerTripped {
+		t.Fatalf("after consecutive failures: breaker=%s, want tripped", w.Breaker)
+	}
+
+	// Worker recovers; after the cooldown the next job is the half-open
+	// probe, succeeds, and closes the breaker.
+	fw.failing.Store(false)
+	time.Sleep(20 * time.Millisecond)
+	st2, err := cl.Submit(ctx, quickSpec(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, cl, st2.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	if fin.Status != StatusDone {
+		t.Fatalf("probe job ended %s: %s", fin.Status, fin.Error)
+	}
+	if w := disp.Stats().Fleet.Workers[0]; w.Breaker != BreakerClosed || w.BreakerTrips == 0 {
+		t.Fatalf("revived worker: breaker=%s trips=%d, want closed/≥1", w.Breaker, w.BreakerTrips)
+	}
+}
+
+// Per-job deadlines: a job that runs past Config.JobTimeout fails with a
+// deadline error instead of wedging a worker forever.
+func TestJobDeadline(t *testing.T) {
+	srv, err := New(Config{Workers: 1, JobTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	cl := NewClient(hs.URL)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, simSpec("cholesky", 20000, 7, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("overrunning job: status=%s error=%q, want failed with deadline", fin.Status, fin.Error)
+	}
+}
+
+// Graceful degradation: a dispatcher with zero workers holds the job in the
+// dispatch wait instead of failing it, and a worker joining within
+// NoWorkerWait picks it up.
+func TestFleetNoWorkerWaitDegradation(t *testing.T) {
+	disp, err := New(Config{
+		Fleet: true, NoWorkerWait: 10 * time.Second,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhs := httptest.NewServer(disp.Handler())
+	t.Cleanup(func() { dhs.Close(); disp.Close() })
+	cl := NewClient(dhs.URL)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, quickSpec(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if s, err := cl.Job(ctx, st.ID); err != nil || terminalStatus(s.Status) {
+		t.Fatalf("job settled (%v, %v) with no workers instead of waiting", s, err)
+	}
+
+	wsrv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whs := httptest.NewServer(wsrv.Handler())
+	t.Cleanup(func() { whs.Close(); wsrv.Close() })
+	if _, err := cl.JoinWorker(ctx, whs.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	fin := waitFor(t, cl, st.ID, func(s *SubmitStatus) bool { return terminalStatus(s.Status) }, "terminal")
+	if fin.Status != StatusDone {
+		t.Fatalf("held job ended %s: %s", fin.Status, fin.Error)
+	}
+	if fs := disp.Stats().Fleet; fs.Starved == 0 {
+		t.Fatalf("starvation wait not counted: %+v", fs)
+	}
+}
+
+// JoinFleet's registration backoff: jitter stays within the ±50% envelope of
+// the 1s→30s exponential, is deterministic per advertise URL, distinct
+// across URLs, and the loop aborts promptly on context cancellation.
+func TestJoinFleetBackoff(t *testing.T) {
+	boA := newBackoff(time.Second, 30*time.Second, seedFromString("http://w-a:1"))
+	boB := newBackoff(time.Second, 30*time.Second, seedFromString("http://w-b:1"))
+	d := time.Second
+	diverged := false
+	for i := 0; i < 10; i++ {
+		da, db := boA.next(), boB.next()
+		if da < d/2 || da >= d/2+d {
+			t.Fatalf("step %d: join delay %v outside [%v, %v)", i, da, d/2, d/2+d)
+		}
+		if da != db {
+			diverged = true
+		}
+		if d < 30*time.Second {
+			d *= 2
+			if d > 30*time.Second {
+				d = 30 * time.Second
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("two workers drew identical join backoff streams (thundering herd)")
+	}
+
+	// Cancellation aborts a join loop stuck on an unreachable dispatcher.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := JoinFleet(ctx, "http://127.0.0.1:1", "http://127.0.0.1:2")
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled JoinFleet reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("JoinFleet did not abort on context cancellation")
+	}
+}
+
+// Client-side retry: a retryable envelope (503 queue-full) is retried until
+// the daemon recovers; a terminal envelope fails on the first attempt.
+func TestClientWithRetry(t *testing.T) {
+	var calls atomic.Int64
+	mock := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeError(w, http.StatusServiceUnavailable, CodeQueueFull, "job queue full")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitStatus{ID: "job-1", Status: StatusQueued})
+	}))
+	defer mock.Close()
+
+	cl := NewClient(mock.URL, WithRetry(RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: 5 * time.Millisecond}))
+	st, err := cl.Submit(context.Background(), quickSpec(56))
+	if err != nil {
+		t.Fatalf("retryable 503 not ridden out: %v", err)
+	}
+	if st.ID != "job-1" || calls.Load() != 3 {
+		t.Fatalf("id=%s calls=%d, want job-1 after 3 calls", st.ID, calls.Load())
+	}
+
+	// Terminal rejection: exactly one attempt, no retries.
+	var badCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid job")
+	}))
+	defer bad.Close()
+	cl2 := NewClient(bad.URL, WithRetry(RetryPolicy{Attempts: 5, Base: time.Millisecond}))
+	if _, err := cl2.Submit(context.Background(), quickSpec(57)); err == nil {
+		t.Fatal("bad request succeeded")
+	}
+	if badCalls.Load() != 1 {
+		t.Fatalf("terminal error retried: %d calls", badCalls.Load())
+	}
+}
+
+// cutOnceTransport severs the body of the first event-stream response after
+// a few bytes — the mid-flight failure Wait must reconnect through.
+type cutOnceTransport struct {
+	cut atomic.Bool
+}
+
+func (t *cutOnceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if strings.HasSuffix(req.URL.Path, "/events") && t.cut.CompareAndSwap(false, true) {
+		resp.Body = &cutAfter{rc: resp.Body, left: 10}
+	}
+	return resp, nil
+}
+
+type cutAfter struct {
+	rc   io.ReadCloser
+	left int
+}
+
+func (b *cutAfter) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= n
+	return n, err
+}
+
+func (b *cutAfter) Close() error { return b.rc.Close() }
+
+// Wait under a retry policy survives a severed SSE stream: it reconnects
+// (or finds the job already settled) instead of surfacing the read error.
+func TestWaitReconnectsAfterStreamCut(t *testing.T) {
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	cl := NewClient(hs.URL,
+		WithHTTPClient(&http.Client{Transport: &cutOnceTransport{}}),
+		WithRetry(RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: 10 * time.Millisecond}))
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, quickSpec(58))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := cl.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatalf("Wait did not survive the stream cut: %v", err)
+	}
+	if fin.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", fin.Status, fin.Error)
+	}
+
+	// Without a retry policy the same cut is fatal — the old behaviour.
+	cl2 := NewClient(hs.URL, WithHTTPClient(&http.Client{Transport: &cutOnceTransport{}}))
+	st2, err := cl2.Submit(ctx, quickSpec(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Wait(ctx, st2.ID, nil); err == nil {
+		t.Fatal("single-shot Wait rode through a cut stream")
+	}
+}

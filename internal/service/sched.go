@@ -197,6 +197,26 @@ func (sc *scheduler) close() {
 	sc.mu.Unlock()
 }
 
+// abort closes the scheduler AND drops the queue on the floor — crash
+// semantics (Server.Kill), where close is shutdown semantics. Workers exit
+// on their next pick; the dropped jobs live on in the journal, which is
+// exactly where a restart recovers them from.
+func (sc *scheduler) abort() {
+	sc.mu.Lock()
+	sc.closed = true
+	for _, tq := range sc.queues {
+		for cls := range tq.q {
+			for i := range tq.q[cls] {
+				tq.q[cls][i] = nil
+			}
+			tq.q[cls] = nil
+		}
+	}
+	sc.queued = 0
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+}
+
 // SchedStats is the scheduler section of GET /stats: queue depth overall and
 // by priority class, plus total dispatches.
 type SchedStats struct {

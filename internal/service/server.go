@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tasksuperscalar/internal/faults"
 )
 
 // Job statuses, in lifecycle order. A job ends in exactly one of the three
@@ -81,6 +83,40 @@ type Config struct {
 	// ticks at this rate (default 5s). Workers that never heartbeat (plain
 	// -join registrations) keep the probe-based health of earlier releases.
 	HeartbeatInterval time.Duration
+	// JournalDir, when set, makes accepted jobs crash-durable: every job
+	// lifecycle transition is appended to an fsync'd, self-verifying journal
+	// there, and on start the daemon replays it — queued jobs re-enqueue,
+	// in-flight jobs re-execute, and determinism plus the persistent result
+	// store make the recovered outcomes byte-identical (see journal.go).
+	JournalDir string
+	// JobTimeout bounds each job execution (0 = unbounded): a job running
+	// past it settles failed with a deadline error in the envelope. For
+	// sweeps the bound applies per constituent point, matching the
+	// cancellation granularity.
+	JobTimeout time.Duration
+	// DispatchRetries bounds how many worker-level failures one fleet
+	// dispatch absorbs before the job fails (default 4). Between attempts
+	// the dispatcher backs off exponentially from RetryBackoff (default
+	// 100ms) capped at RetryBackoffMax (default 5s), with seeded ±50%
+	// jitter.
+	DispatchRetries int
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// NoWorkerWait is how long a fleet job waits for a dispatchable worker
+	// before failing (default 30s; negative = fail immediately). Graceful
+	// degradation: a fleet momentarily at zero workers — mid-restart, all
+	// breakers tripped — holds jobs instead of failing them instantly.
+	NoWorkerWait time.Duration
+	// BreakerThreshold consecutive dispatch failures trip a worker's circuit
+	// breaker (default 3); a tripped worker receives no dispatches for
+	// BreakerCooldown (default 5s), then one half-open probe job decides
+	// between revival and re-trip (see worker.go).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Faults, when set, threads the deterministic fault injector through the
+	// dispatcher's worker RPC/SSE transport and the persistent store's
+	// writes. Test instrumentation; nil in production.
+	Faults *faults.Injector
 }
 
 // execution is the shared run state of one content-addressed job. Jobs that
@@ -213,6 +249,7 @@ type Server struct {
 	cfg      Config
 	cache    *Cache
 	disk     *DiskStore // non-nil when Config.CacheDir is set
+	journal  *journal   // non-nil when Config.JournalDir is set
 	mux      *http.ServeMux
 	fleet    *fleet // non-nil in dispatcher mode
 	instance string // unique per-process daemon identity (see handleHealthz)
@@ -235,6 +272,7 @@ type Server struct {
 	order     []string        // job IDs in submission order
 	inflight  map[string]*job // key → primary job currently queued/running
 	nextID    uint64
+	submitted uint64 // accepted submissions, journal-replayed jobs included
 	coalesced uint64
 	completed uint64
 	failed    uint64
@@ -261,6 +299,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 5 * time.Second
+	}
+	if cfg.DispatchRetries <= 0 {
+		cfg.DispatchRetries = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 5 * time.Second
+	}
+	switch {
+	case cfg.NoWorkerWait == 0:
+		cfg.NoWorkerWait = 30 * time.Second
+	case cfg.NoWorkerWait < 0:
+		cfg.NoWorkerWait = 0
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
 	}
 	s := &Server{
 		cfg:           cfg,
@@ -290,6 +349,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.disk.SetFaults(cfg.Faults)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.protect(s.handleSubmit))
@@ -300,6 +360,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.protect(s.handleEvents))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Open and replay the journal before any worker or pump goroutine
+	// exists: recovered jobs are queued (in original ID order) ahead of the
+	// first pick, and no settle can race the replay.
+	if cfg.JournalDir != "" {
+		jl, live, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		s.replayJournal(live)
+	}
 	if cfg.Fleet {
 		s.fleet = newFleet(s)
 		s.mux.HandleFunc("POST /v1/workers", s.protect(s.fleet.handleJoin))
@@ -340,6 +411,44 @@ func (s *Server) Close() {
 	}
 	s.sched.close()
 	s.wg.Wait()
+	s.journal.Close()
+}
+
+// Kill simulates a crash: where Close drains, Kill halts. The journal and
+// the persistent store stop persisting (writes issued after a power cut
+// never land), queued jobs are dropped on the floor, and in-flight
+// executions are cancelled so their goroutines exit without settling
+// durably. A new Server opened on the same JournalDir/CacheDir recovers
+// every job that had not durably settled — the crash/recovery contract the
+// chaos suite asserts.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	inflight := make([]*execution, 0, len(s.inflight))
+	for _, j := range s.inflight {
+		inflight = append(inflight, j.exec)
+	}
+	s.mu.Unlock()
+	// Halt durability first: nothing that happens after the "crash instant"
+	// may reach the journal or the store.
+	s.journal.halt()
+	if s.disk != nil {
+		s.disk.halt()
+	}
+	if s.fleet != nil {
+		close(s.fleet.stop)
+	}
+	s.sched.abort()
+	for _, e := range inflight {
+		if e.cancel != nil {
+			e.cancel()
+		}
+	}
+	s.wg.Wait()
 }
 
 func (s *Server) worker() {
@@ -363,8 +472,11 @@ func (s *Server) runJob(j *job) {
 		// the worker.
 		return
 	}
+	s.journalStart(j)
 	// Read through the persistent store before simulating anything: a
-	// result that survived a restart answers the job without a run.
+	// result that survived a restart answers the job without a run — which
+	// is also what makes journal replay duplicate-free for work that
+	// settled into the store before a crash.
 	if result, ok := s.diskGet(j.key); ok {
 		s.finishJobFromDisk(j, result)
 		return
@@ -374,9 +486,12 @@ func (s *Server) runJob(j *job) {
 	var err error
 	switch j.spec.Kind {
 	case KindSim:
-		result, err = runSim(e.ctx, j.spec.Sim, func(done, total uint64) {
+		ctx, cancel := s.execCtx(e)
+		result, err = runSim(ctx, j.spec.Sim, func(done, total uint64) {
 			e.set(func() { e.done, e.total = done, total })
 		})
+		cancel()
+		err = s.deadlineErr(e, err)
 	case KindSweep:
 		s.runShardedSweep(j)
 		return
@@ -384,6 +499,26 @@ func (s *Server) runJob(j *job) {
 		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
 	}
 	s.finishJob(j, result, err)
+}
+
+// execCtx derives the context an execution runs under: its cancel context,
+// bounded by the per-job deadline when one is configured.
+func (s *Server) execCtx(e *execution) (context.Context, context.CancelFunc) {
+	if s.cfg.JobTimeout <= 0 {
+		return e.ctx, func() {}
+	}
+	return context.WithTimeout(e.ctx, s.cfg.JobTimeout)
+}
+
+// deadlineErr rewrites a per-job deadline expiry into an explicit envelope
+// message. The parent execution context is still live in that case, so
+// settle classifies the job failed (not cancelled) — a deadline is the
+// server's verdict, not the client's request.
+func (s *Server) deadlineErr(e *execution, err error) error {
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && (e.ctx == nil || e.ctx.Err() == nil) {
+		return fmt.Errorf("job exceeded its %s deadline (-job-timeout): %w", s.cfg.JobTimeout, err)
+	}
+	return err
 }
 
 // diskGet reads through the persistent store (a no-op without -cache-dir),
@@ -461,6 +596,12 @@ func (s *Server) settle(j *job, result []byte, err error, fromDisk bool) string 
 	if p := s.inflight[j.key]; p != nil && p.exec == e {
 		delete(s.inflight, j.key)
 	}
+	// Journal the settlement under the same s.mu hold that releases the
+	// inflight slot: accepts are journaled under s.mu too, so a new
+	// submission of this key can never have its accept record cleared by
+	// this (earlier) settle. Keys never journaled (internal sweep points)
+	// write nothing.
+	s.journal.settleKey(j.key, status)
 	s.mu.Unlock()
 	return status
 }
@@ -613,8 +754,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.exec = primary.exec
 		j.coalesced = true
 		s.coalesced++
+		s.submitted++
 		tenant.noteSubmitted()
 		s.register(j)
+		// Coalesced submissions are journaled too (with their own spec):
+		// replay re-groups live ids by key, so after a crash the coalesced
+		// job re-attaches to — or, if alone, becomes — the key's primary.
+		s.journalAccept(j)
 		s.mu.Unlock()
 	} else if result, ok := s.cache.Get(key); ok {
 		// Content-addressed hit: answer without simulating. (The
@@ -625,6 +771,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.exec.result = result
 		j.cached = true
 		s.cacheHits++
+		s.submitted++
 		tenant.noteSubmitted()
 		s.register(j)
 		s.mu.Unlock()
@@ -641,18 +788,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		j.slotHeld.Store(true)
 		j.exec = newRunnableExecution()
+		// Register and journal before the enqueue: the accept record must be
+		// durable before any worker can pop the job, or a fast settle could
+		// land in the journal ahead of its own accept. All under one s.mu
+		// hold, so a worker that pops the job immediately still blocks on
+		// s.mu in settle until the job is fully recorded.
+		s.register(j)
+		s.journalAccept(j)
 		if !s.sched.enqueue(j) {
+			// Roll the registration back: the job never became runnable.
+			s.journal.settleKey(key, StatusFailed)
+			delete(s.jobs, j.id)
+			s.order = s.order[:len(s.order)-1]
+			s.nextID--
 			s.releaseSlot(j)
 			s.mu.Unlock()
 			writeError(w, http.StatusServiceUnavailable, CodeQueueFull,
 				"job queue full (%d pending)", s.cfg.QueueDepth)
 			return
 		}
-		// Registration happens under the same s.mu hold as the enqueue, so
-		// a worker that pops the job immediately still blocks on s.mu in
-		// settle until the job is fully recorded.
+		s.submitted++
 		tenant.noteSubmitted()
-		s.register(j)
 		s.inflight[key] = j
 		s.mu.Unlock()
 	}
@@ -751,6 +907,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			delete(s.inflight, j.key)
 			primary = p
 		}
+		// A queued cancel bypasses settle, so the journal settle lands here:
+		// cancelling any submission of the key cancels them all, and none
+		// must replay after a crash.
+		s.journal.settleKey(j.key, StatusCancelled)
 		s.cancelled++
 		s.evictJobsLocked()
 		s.mu.Unlock()
@@ -990,6 +1150,8 @@ type ServerStats struct {
 	Cache CacheStats `json:"cache"`
 	// Fleet reports dispatcher-mode state (nil on a plain daemon).
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Journal reports crash-durability state (nil without -journal-dir).
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // ShardStats counts sweep-point resolution outcomes. Every point a sharded
@@ -1021,7 +1183,7 @@ func (s *Server) Stats() ServerStats {
 	st := ServerStats{
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
-		Submitted:  s.nextID,
+		Submitted:  s.submitted,
 		Completed:  s.completed,
 		Failed:     s.failed,
 		Cancelled:  s.cancelled,
@@ -1047,6 +1209,10 @@ func (s *Server) Stats() ServerStats {
 	if s.fleet != nil {
 		fs := s.fleet.stats()
 		st.Fleet = &fs
+	}
+	if s.journal != nil {
+		js := s.journal.stats()
+		st.Journal = &js
 	}
 	return st
 }

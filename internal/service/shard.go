@@ -146,18 +146,24 @@ func (s *Server) resolvePoint(ctx context.Context, spec *JobSpec) ([]byte, strin
 			s.settle(pj, payload, nil, true)
 			return payload, pointDiskHit, nil
 		}
+		// The per-job deadline applies per point — the same granularity
+		// cancellation already has — so long sweeps make progress while no
+		// single point can wedge a worker forever.
+		pctx, pcancel := s.execCtx(pj.exec)
 		var payload []byte
 		var err error
 		if s.fleet != nil {
-			payload, err = s.fleet.execute(pj)
+			payload, err = s.fleet.execute(pctx, pj)
 		} else {
 			// Run inline in the sweep's pool goroutine — point
 			// concurrency is bounded by the sweep's pool width, never by
 			// (or competing for) the server's job queue.
-			payload, err = runSim(pj.exec.ctx, spec.Sim, func(done, total uint64) {
+			payload, err = runSim(pctx, spec.Sim, func(done, total uint64) {
 				pj.exec.set(func() { pj.exec.done, pj.exec.total = done, total })
 			})
 		}
+		pcancel()
+		err = s.deadlineErr(pj.exec, err)
 		s.settle(pj, payload, err, false)
 		switch {
 		case err == nil:

@@ -10,8 +10,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tasksuperscalar/internal/faults"
 	"tasksuperscalar/tss"
 )
 
@@ -115,6 +117,13 @@ type DiskStore struct {
 	dir      string
 	maxBytes int64
 
+	// halted freezes the store (Server.Kill crash simulation): reads miss,
+	// writes vanish — the post-crash-instant I/O a real power cut loses.
+	halted atomic.Bool
+	// injector tears writes deterministically under chaos tests (nil in
+	// production).
+	injector atomic.Pointer[faults.Injector]
+
 	mu      sync.Mutex
 	entries map[string]*diskEntry
 	bytes   int64
@@ -122,6 +131,13 @@ type DiskStore struct {
 
 	hits, misses, evictions, invalid uint64
 }
+
+// SetFaults installs (or, with nil, removes) a deterministic fault injector
+// consulted on every write. Test instrumentation.
+func (s *DiskStore) SetFaults(in *faults.Injector) { s.injector.Store(in) }
+
+// halt freezes the store for crash simulation.
+func (s *DiskStore) halt() { s.halted.Store(true) }
 
 type diskEntry struct {
 	size int64
@@ -191,7 +207,7 @@ func (s *DiskStore) path(key string) string { return filepath.Join(s.dir, key) }
 // refresh both the in-memory recency and the file mtime, so the LRU order
 // survives a restart.
 func (s *DiskStore) Get(key string) ([]byte, bool) {
-	if !isResultKey(key) {
+	if !isResultKey(key) || s.halted.Load() {
 		return nil, false
 	}
 	s.mu.Lock()
@@ -224,15 +240,31 @@ func (s *DiskStore) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put writes the payload for key atomically (temp file + rename) and evicts
-// least-recently-used entries past the byte budget. A payload whose envelope
-// exceeds the whole budget is not stored; a key already present is left
-// untouched (content addressing makes rewrites pointless).
+// Put writes the payload for key atomically and durably: temp file, fsync
+// the file, rename into place, fsync the directory. Without the fsyncs the
+// atomic-write design is a fair-weather claim — after a crash the kernel may
+// surface a truncated envelope (data not yet flushed) or no file at all (the
+// rename's directory entry not yet flushed), which is exactly the torn state
+// the envelope checksums then catch only by discarding the result. A payload
+// whose envelope exceeds the whole budget is not stored; a key already
+// present is left untouched (content addressing makes rewrites pointless).
 func (s *DiskStore) Put(key string, payload []byte) {
-	if !isResultKey(key) {
+	if !isResultKey(key) || s.halted.Load() {
 		return
 	}
 	env := encodeEnvelope(key, payload)
+	// Deterministic crash simulation: a torn write keeps only a prefix and
+	// skips every fsync, modeling a power cut mid-write. The truncated
+	// envelope fails verification on the next Get and heals (miss + remove).
+	torn := false
+	if f := s.injector.Load().At(faults.StoreWrite); f.Kind == faults.Torn {
+		n := f.After
+		if n >= len(env) {
+			n = len(env) / 2
+		}
+		env = env[:n]
+		torn = true
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int64(len(env)) > s.maxBytes {
@@ -246,6 +278,9 @@ func (s *DiskStore) Put(key string, payload []byte) {
 		return
 	}
 	_, werr := tmp.Write(env)
+	if werr == nil && !torn {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -254,6 +289,9 @@ func (s *DiskStore) Put(key string, payload []byte) {
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return
+	}
+	if !torn {
+		syncDir(s.dir)
 	}
 	s.tick++
 	s.entries[key] = &diskEntry{size: int64(len(env)), tick: s.tick}

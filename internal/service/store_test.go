@@ -12,6 +12,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"tasksuperscalar/internal/faults"
 	"tasksuperscalar/tss"
 )
 
@@ -311,4 +312,69 @@ func FuzzResultEnvelope(f *testing.F) {
 			t.Fatalf("round-trip changed payload: %q -> %q", data, got)
 		}
 	})
+}
+
+// The fsync regression bar: a write torn mid-envelope — the crash-between-
+// write-and-fsync state the store's file+directory fsyncs exist to prevent —
+// must never be served. The next Get detects the truncation, heals by
+// removing the file, and a clean re-Put restores the key.
+func TestDiskStoreTornWriteHeals(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0)
+	// P=1 Torn with a tiny prefix: the very first Put is torn.
+	s.SetFaults(faults.New(3, faults.Plan{
+		faults.StoreWrite: {P: 1, Kinds: []faults.Kind{faults.Torn}, TornAfter: 16},
+	}))
+
+	key := testKey("torn-write")
+	payload := []byte(`{"sim_version":"` + tss.SimVersion + `","cycles":777}`)
+	s.Put(key, payload)
+
+	// The torn file exists but must fail verification and heal to a miss.
+	if _, err := os.Stat(filepath.Join(dir, key)); err != nil {
+		t.Fatalf("torn write left no file to detect: %v", err)
+	}
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("torn envelope served: %q", got)
+	}
+	if st := s.Stats(); st.Invalid != 1 {
+		t.Fatalf("torn envelope not counted invalid: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key)); !os.IsNotExist(err) {
+		t.Fatalf("torn envelope not removed: %v", err)
+	}
+
+	// Faults off: the clean re-Put round-trips, and survives reopen — the
+	// durable path (write, fsync file, rename, fsync dir) is intact.
+	s.SetFaults(nil)
+	s.Put(key, payload)
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("re-put after heal: ok=%v got=%q", ok, got)
+	}
+	s2 := openStore(t, dir, 0)
+	if got, ok := s2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened store after heal: ok=%v got=%q", ok, got)
+	}
+}
+
+// A halted store (the crash instant) neither serves nor records anything.
+func TestDiskStoreHaltFreezesIO(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0)
+	key := testKey("halted")
+	payload := []byte(`{"sim_version":"` + tss.SimVersion + `"}`)
+	s.Put(key, payload)
+	s.halt()
+	if _, ok := s.Get(key); ok {
+		t.Fatal("halted store served a read")
+	}
+	s.Put(testKey("halted-2"), payload)
+	if _, err := os.Stat(filepath.Join(dir, testKey("halted-2"))); !os.IsNotExist(err) {
+		t.Fatal("halted store persisted a write")
+	}
+	// The pre-halt write is durable: a successor store serves it.
+	s2 := openStore(t, dir, 0)
+	if got, ok := s2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("pre-halt write lost: ok=%v got=%q", ok, got)
+	}
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tasksuperscalar/internal/faults"
 )
 
 // The worker side of fleet mode: registration and lifecycle plumbing between
@@ -41,6 +43,19 @@ const (
 	WorkerDead    = "dead"    // missed ~5 heartbeat intervals; never picked until revived
 )
 
+// Circuit-breaker states, orthogonal to liveness: liveness asks "is the
+// process up?" (heartbeats, probes); the breaker asks "do dispatches to it
+// succeed?" (a node can answer /healthz all day while its pool is wedged).
+// Closed admits dispatches; tripped (after Config.BreakerThreshold
+// consecutive failures) admits none until Config.BreakerCooldown elapses;
+// half-open admits exactly one probe job, whose outcome closes or re-trips
+// the breaker (WorkerInfo.Breaker).
+const (
+	BreakerClosed   = "closed"
+	BreakerTripped  = "tripped"
+	BreakerHalfOpen = "half-open"
+)
+
 // WorkerInfo is the wire form of one registered fleet worker
 // (POST/GET /v1/workers and the fleet section of /stats).
 type WorkerInfo struct {
@@ -66,6 +81,10 @@ type WorkerInfo struct {
 	Dispatched uint64 `json:"dispatched"`
 	Failures   uint64 `json:"failures"`
 	Revived    uint64 `json:"revived,omitempty"`
+	// Breaker is the circuit-breaker state (closed, tripped, half-open);
+	// BreakerTrips counts trips over the registration lifetime.
+	Breaker      string `json:"breaker"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
 }
 
 // workerNode is the dispatcher's handle on one registered worker.
@@ -83,6 +102,14 @@ type workerNode struct {
 	dispatched uint64
 	failures   uint64
 	revived    uint64
+
+	// Circuit breaker (see the Breaker* constants): consecFails counts
+	// consecutive dispatch failures since the last success; trippedAt stamps
+	// the trip for the cooldown clock.
+	breaker     string
+	consecFails int
+	trippedAt   time.Time
+	trips       uint64
 }
 
 func (w *workerNode) begin() {
@@ -98,12 +125,74 @@ func (w *workerNode) end() {
 	w.mu.Unlock()
 }
 
-func (w *workerNode) noteFailure() {
+// noteFailure records one worker-level dispatch failure: liveness drops to
+// suspect, and the breaker trips after `threshold` consecutive failures — or
+// instantly if this was the half-open probe job.
+func (w *workerNode) noteFailure(threshold int) {
 	w.mu.Lock()
 	if w.state == WorkerHealthy {
 		w.state = WorkerSuspect
 	}
 	w.failures++
+	w.consecFails++
+	switch {
+	case w.breaker == BreakerHalfOpen:
+		// The probe job failed: straight back to tripped, cooldown restarts.
+		w.breaker = BreakerTripped
+		w.trippedAt = time.Now()
+		w.trips++
+	case w.breaker != BreakerTripped && w.consecFails >= threshold:
+		w.breaker = BreakerTripped
+		w.trippedAt = time.Now()
+		w.trips++
+	}
+	w.mu.Unlock()
+}
+
+// noteSuccess records a dispatch the worker served correctly: the breaker
+// closes (reviving a half-open worker into the rotation), the consecutive
+// failure count resets, and — a served job being direct evidence of life —
+// liveness returns to healthy.
+func (w *workerNode) noteSuccess() {
+	w.mu.Lock()
+	w.breaker = BreakerClosed
+	w.consecFails = 0
+	if w.state == WorkerDead {
+		w.revived++
+	}
+	w.state = WorkerHealthy
+	w.lastBeat = time.Now()
+	w.mu.Unlock()
+}
+
+// breakerClosed reports whether the breaker admits normal dispatches.
+func (w *workerNode) breakerClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.breaker == BreakerClosed || w.breaker == ""
+}
+
+// claimHalfOpen claims the single half-open probe slot of a tripped worker
+// whose cooldown has expired. At most one caller wins until the probe's
+// outcome (noteSuccess / noteFailure / releaseHalfOpen) resolves the state.
+func (w *workerNode) claimHalfOpen(now time.Time, cooldown time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.breaker != BreakerTripped || now.Sub(w.trippedAt) < cooldown {
+		return false
+	}
+	w.breaker = BreakerHalfOpen
+	return true
+}
+
+// releaseHalfOpen returns an unresolved half-open claim (the probe dispatch
+// was aborted by cancellation, proving nothing) to tripped — with the
+// original trip time, so the next pick may claim a fresh probe immediately.
+func (w *workerNode) releaseHalfOpen() {
+	w.mu.Lock()
+	if w.breaker == BreakerHalfOpen {
+		w.breaker = BreakerTripped
+	}
 	w.mu.Unlock()
 }
 
@@ -159,12 +248,17 @@ func (w *workerNode) dispatchable() (ok, healthy bool, active int) {
 func (w *workerNode) info() WorkerInfo {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	breaker := w.breaker
+	if breaker == "" {
+		breaker = BreakerClosed
+	}
 	return WorkerInfo{
 		ID: w.id, URL: w.url,
 		State: w.state, Healthy: w.state == WorkerHealthy,
 		Draining: w.draining, Heartbeat: w.beatOpted,
 		Active: w.active, Dispatched: w.dispatched,
 		Failures: w.failures, Revived: w.revived,
+		Breaker: breaker, BreakerTrips: w.trips,
 	}
 }
 
@@ -292,9 +386,18 @@ func (f *fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 // workerClient builds the dispatcher's client for one worker, presenting the
-// daemon's peer token when configured.
+// daemon's peer token when configured. With a fault injector installed
+// (chaos tests), every request and response body to the worker routes
+// through the injecting transport — which is how drops, delays, synthetic
+// 5xxs, and mid-stream SSE cuts reach the dispatch path deterministically.
 func (f *fleet) workerClient(base string) *Client {
-	return NewClient(base, WithToken(f.s.cfg.PeerToken), WithUserAgent("tssd-dispatcher/1"))
+	opts := []ClientOption{WithToken(f.s.cfg.PeerToken), WithUserAgent("tssd-dispatcher/1")}
+	if in := f.s.cfg.Faults; in != nil {
+		opts = append(opts, WithHTTPClient(&http.Client{
+			Transport: faults.NewTransport(nil, in, faults.RPC, faults.Stream),
+		}))
+	}
+	return NewClient(base, opts...)
 }
 
 // register finds or creates the node for a worker URL; it reports whether the
@@ -309,10 +412,11 @@ func (f *fleet) register(base string) (*workerNode, bool) {
 	}
 	f.nextID++
 	n := &workerNode{
-		id:    fmt.Sprintf("worker-%d", f.nextID),
-		url:   base,
-		cl:    f.workerClient(base),
-		state: WorkerHealthy,
+		id:      fmt.Sprintf("worker-%d", f.nextID),
+		url:     base,
+		cl:      f.workerClient(base),
+		state:   WorkerHealthy,
+		breaker: BreakerClosed,
 	}
 	f.workers = append(f.workers, n)
 	return n, true
@@ -388,11 +492,15 @@ func (f *fleet) handleUndrain(w http.ResponseWriter, r *http.Request) {
 
 // JoinFleet registers the worker daemon reachable at advertiseURL with the
 // fleet dispatcher at dispatcherURL, retrying with backoff until it succeeds
-// or ctx ends. It returns the assigned worker ID. cmd/tssd -join calls this
-// at startup; opts typically carry WithToken for an authenticated dispatcher.
+// or ctx ends. It returns the assigned worker ID. The backoff doubles from
+// 1s to a 30s cap with ±50% jitter seeded from advertiseURL: deterministic
+// per worker, but distinct across the fleet, so a whole fleet rejoining
+// after a dispatcher restart spreads out instead of reconnecting in
+// lockstep (thundering herd). cmd/tssd -join calls this at startup; opts
+// typically carry WithToken for an authenticated dispatcher.
 func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string, opts ...ClientOption) (string, error) {
 	cl := NewClient(dispatcherURL, opts...)
-	backoff := time.Second
+	bo := newBackoff(time.Second, 30*time.Second, seedFromString(advertiseURL))
 	for {
 		info, err := cl.JoinWorker(ctx, advertiseURL)
 		if err == nil {
@@ -401,10 +509,7 @@ func JoinFleet(ctx context.Context, dispatcherURL, advertiseURL string, opts ...
 		select {
 		case <-ctx.Done():
 			return "", fmt.Errorf("joining fleet at %s: %w (last error: %v)", dispatcherURL, ctx.Err(), err)
-		case <-time.After(backoff):
-		}
-		if backoff < 30*time.Second {
-			backoff *= 2
+		case <-time.After(bo.next()):
 		}
 	}
 }
